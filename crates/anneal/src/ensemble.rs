@@ -1,0 +1,180 @@
+//! Multi-start annealing — the paper's evaluation protocol runs many
+//! SA instances from Monte-Carlo-sampled initial configurations
+//! (Sec 4.3) and keeps the best; this module packages that pattern.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{Annealer, AnnealState, AnnealTrace, Schedule};
+
+/// Outcome of an ensemble run: the best trace plus per-start results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleResult {
+    /// Index of the winning start.
+    pub best_index: usize,
+    /// Best energy across the ensemble.
+    pub best_energy: f64,
+    /// Every run's trace, in start order.
+    pub traces: Vec<AnnealTrace>,
+}
+
+impl EnsembleResult {
+    /// The winning trace.
+    pub fn best_trace(&self) -> &AnnealTrace {
+        &self.traces[self.best_index]
+    }
+
+    /// Energies of all runs, in start order.
+    pub fn energies(&self) -> Vec<f64> {
+        self.traces.iter().map(AnnealTrace::best_energy).collect()
+    }
+
+    /// Fraction of runs whose best energy is within `tolerance`
+    /// (relative) of the ensemble best — an intra-ensemble success
+    /// rate.
+    pub fn consensus(&self, tolerance: f64) -> f64 {
+        if self.traces.is_empty() {
+            return 0.0;
+        }
+        let threshold = self.best_energy * (1.0 - tolerance.abs().min(1.0));
+        let hits = self
+            .traces
+            .iter()
+            .filter(|t| t.best_energy() <= threshold)
+            .count();
+        hits as f64 / self.traces.len() as f64
+    }
+}
+
+/// Runs `make_state` → anneal for each of `starts` seeds, returning
+/// every trace and the winner. Deterministic in `base_seed`.
+///
+/// # Panics
+///
+/// Panics if `starts == 0`.
+///
+/// # Example
+///
+/// ```
+/// use hycim_anneal::ensemble::run_ensemble;
+/// use hycim_anneal::{Annealer, GeometricSchedule, SoftwareState};
+/// use hycim_qubo::{Assignment, InequalityQubo, LinearConstraint, QuboMatrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut q = QuboMatrix::zeros(2);
+/// q.set(0, 0, -5.0);
+/// let iq = InequalityQubo::new(q, LinearConstraint::new(vec![1, 1], 2)?)?;
+/// let annealer = Annealer::new(GeometricSchedule::new(5.0, 0.9), 50).without_trace();
+/// let result = run_ensemble(4, 7, &annealer, |_seed| {
+///     SoftwareState::new(&iq, Assignment::zeros(2))
+/// });
+/// assert_eq!(result.best_energy, -5.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_ensemble<S, T, F>(
+    starts: usize,
+    base_seed: u64,
+    annealer: &Annealer<S>,
+    mut make_state: F,
+) -> EnsembleResult
+where
+    S: Schedule,
+    T: AnnealState,
+    F: FnMut(u64) -> T,
+{
+    assert!(starts > 0, "need at least one start");
+    let mut traces = Vec::with_capacity(starts);
+    let mut best_index = 0;
+    let mut best_energy = f64::INFINITY;
+    for k in 0..starts {
+        let seed = base_seed.wrapping_add(k as u64);
+        let mut state = make_state(seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = annealer.run(&mut state, &mut rng);
+        if trace.best_energy() < best_energy {
+            best_energy = trace.best_energy();
+            best_index = k;
+        }
+        traces.push(trace);
+    }
+    EnsembleResult {
+        best_index,
+        best_energy,
+        traces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GeometricSchedule, SoftwareState};
+    use hycim_cop::generator::QkpGenerator;
+    use hycim_cop::solvers;
+    use hycim_qubo::Assignment;
+
+    #[test]
+    fn ensemble_never_loses_to_single_run() {
+        let inst = QkpGenerator::new(20, 0.5).generate(1);
+        let iq = inst.to_inequality_qubo().unwrap();
+        let annealer =
+            Annealer::new(GeometricSchedule::for_energy_scale(100.0, 2000), 2000)
+                .without_trace();
+        let ensemble = run_ensemble(6, 3, &annealer, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            SoftwareState::new(&iq, solvers::random_feasible(&inst, &mut rng))
+        });
+        assert_eq!(ensemble.traces.len(), 6);
+        for t in &ensemble.traces {
+            assert!(ensemble.best_energy <= t.best_energy());
+        }
+        assert_eq!(
+            ensemble.best_trace().best_energy(),
+            ensemble.best_energy
+        );
+    }
+
+    #[test]
+    fn consensus_counts_near_best_runs() {
+        let inst = QkpGenerator::new(15, 0.75).generate(2);
+        let iq = inst.to_inequality_qubo().unwrap();
+        let annealer =
+            Annealer::new(GeometricSchedule::for_energy_scale(100.0, 3000), 3000)
+                .without_trace();
+        let ensemble = run_ensemble(8, 4, &annealer, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            SoftwareState::new(&iq, solvers::random_feasible(&inst, &mut rng))
+        });
+        let c = ensemble.consensus(0.05);
+        assert!((0.0..=1.0).contains(&c));
+        assert!(c > 0.0, "winner itself always counts");
+        // Full tolerance admits everyone.
+        assert_eq!(ensemble.consensus(1.0), 1.0);
+    }
+
+    #[test]
+    fn deterministic_in_base_seed() {
+        let inst = QkpGenerator::new(10, 0.5).generate(5);
+        let iq = inst.to_inequality_qubo().unwrap();
+        let annealer = Annealer::new(GeometricSchedule::new(20.0, 0.99), 300).without_trace();
+        let run = |seed| {
+            run_ensemble(3, seed, &annealer, |s| {
+                let mut rng = StdRng::seed_from_u64(s);
+                SoftwareState::new(&iq, solvers::random_feasible(&inst, &mut rng))
+            })
+            .best_energy
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one start")]
+    fn zero_starts_panics() {
+        let inst = QkpGenerator::new(5, 0.5).generate(6);
+        let iq = inst.to_inequality_qubo().unwrap();
+        let annealer = Annealer::new(GeometricSchedule::new(5.0, 0.9), 10);
+        let _ = run_ensemble(0, 0, &annealer, |_| {
+            SoftwareState::new(&iq, Assignment::zeros(5))
+        });
+    }
+}

@@ -1,0 +1,58 @@
+//! Simulated-annealing engine for the HyCiM reproduction (paper
+//! Sec 3.4, Fig. 6(b)).
+//!
+//! The paper's SA logic generates a new input configuration each
+//! iteration, sends it through the inequality filter, computes the
+//! QUBO energy on the crossbar for feasible configurations, and
+//! accepts/rejects per the Metropolis criterion at the current
+//! annealing temperature. Infeasible configurations bounce straight
+//! back for the next iteration.
+//!
+//! This crate factors that loop into:
+//!
+//! * [`AnnealState`] — the problem-side contract: probe the energy
+//!   delta of a single-bit flip (which a filter may veto), commit the
+//!   flip. Implemented here for exact software evaluation
+//!   ([`SoftwareState`], [`PenaltyState`]) and in `hycim-core` for the
+//!   hardware-backed pipelines.
+//! * [`Schedule`] — annealing temperature schedules
+//!   ([`GeometricSchedule`], [`LinearSchedule`], [`ConstantSchedule`]).
+//! * [`Annealer`] — the Metropolis loop, producing an [`AnnealTrace`]
+//!   (the energy-evolution curves of paper Fig. 7(f)).
+//!
+//! # Example
+//!
+//! ```
+//! use hycim_anneal::{Annealer, GeometricSchedule, SoftwareState};
+//! use hycim_qubo::{Assignment, InequalityQubo, LinearConstraint, QuboMatrix};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut q = QuboMatrix::zeros(3);
+//! q.set(0, 0, -10.0);
+//! q.set(2, 2, -8.0);
+//! q.set(0, 2, -14.0);
+//! let iq = InequalityQubo::new(q, LinearConstraint::new(vec![4, 7, 2], 9)?)?;
+//! let mut state = SoftwareState::new(&iq, Assignment::zeros(3));
+//! let annealer = Annealer::new(GeometricSchedule::new(20.0, 0.9), 200);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let trace = annealer.run(&mut state, &mut rng);
+//! assert_eq!(trace.best_energy(), -32.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod annealer;
+pub mod ensemble;
+mod schedule;
+mod state;
+pub mod tempering;
+mod trace;
+
+pub use annealer::Annealer;
+pub use schedule::{ConstantSchedule, GeometricSchedule, LinearSchedule, Schedule};
+pub use state::{AnnealState, FlipOutcome, PenaltyState, SoftwareState};
+pub use trace::AnnealTrace;

@@ -1,0 +1,190 @@
+use std::fmt;
+
+/// An annealing temperature schedule: temperature as a function of the
+/// iteration index.
+///
+/// # Example
+///
+/// ```
+/// use hycim_anneal::{GeometricSchedule, Schedule};
+///
+/// let s = GeometricSchedule::new(10.0, 0.5);
+/// assert_eq!(s.temperature(0, 100), 10.0);
+/// assert_eq!(s.temperature(2, 100), 2.5);
+/// ```
+pub trait Schedule {
+    /// Temperature at iteration `iter` of `total` iterations. Must be
+    /// non-negative.
+    fn temperature(&self, iter: usize, total: usize) -> f64;
+}
+
+/// Geometric cooling `T_k = T₀ · αᵏ` — the standard hardware-annealer
+/// schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometricSchedule {
+    t0: f64,
+    alpha: f64,
+}
+
+impl GeometricSchedule {
+    /// Creates a geometric schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t0 <= 0` or `alpha` is outside `(0, 1]`.
+    pub fn new(t0: f64, alpha: f64) -> Self {
+        assert!(t0 > 0.0 && t0.is_finite(), "initial temperature must be positive");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self { t0, alpha }
+    }
+
+    /// A schedule tuned for QKP profit scales: starts near the largest
+    /// profit coefficient and decays to ~1% of it over `total`
+    /// iterations.
+    pub fn for_energy_scale(scale: f64, total: usize) -> Self {
+        let t0 = scale.max(1.0);
+        // α such that t0·α^total = 0.01·t0.
+        let alpha = (0.01f64).powf(1.0 / total.max(1) as f64);
+        Self { t0, alpha }
+    }
+
+    /// Initial temperature.
+    pub fn t0(&self) -> f64 {
+        self.t0
+    }
+
+    /// Cooling factor per iteration.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Schedule for GeometricSchedule {
+    fn temperature(&self, iter: usize, _total: usize) -> f64 {
+        self.t0 * self.alpha.powi(iter as i32)
+    }
+}
+
+impl fmt::Display for GeometricSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "geometric(T₀={}, α={})", self.t0, self.alpha)
+    }
+}
+
+/// Linear cooling `T_k = T₀ · (1 − k/total)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearSchedule {
+    t0: f64,
+}
+
+impl LinearSchedule {
+    /// Creates a linear schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t0 <= 0`.
+    pub fn new(t0: f64) -> Self {
+        assert!(t0 > 0.0 && t0.is_finite(), "initial temperature must be positive");
+        Self { t0 }
+    }
+
+    /// Initial temperature.
+    pub fn t0(&self) -> f64 {
+        self.t0
+    }
+}
+
+impl Schedule for LinearSchedule {
+    fn temperature(&self, iter: usize, total: usize) -> f64 {
+        let frac = 1.0 - iter as f64 / total.max(1) as f64;
+        self.t0 * frac.max(0.0)
+    }
+}
+
+impl fmt::Display for LinearSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "linear(T₀={})", self.t0)
+    }
+}
+
+/// Constant temperature (Metropolis sampling without cooling).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantSchedule {
+    t: f64,
+}
+
+impl ConstantSchedule {
+    /// Creates a constant schedule. A temperature of zero is allowed
+    /// and yields pure greedy descent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t < 0` or `t` is not finite.
+    pub fn new(t: f64) -> Self {
+        assert!(t >= 0.0 && t.is_finite(), "temperature must be non-negative");
+        Self { t }
+    }
+}
+
+impl Schedule for ConstantSchedule {
+    fn temperature(&self, _iter: usize, _total: usize) -> f64 {
+        self.t
+    }
+}
+
+impl fmt::Display for ConstantSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "constant(T={})", self.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_decays() {
+        let s = GeometricSchedule::new(100.0, 0.9);
+        assert!(s.temperature(10, 0) < s.temperature(5, 0));
+        assert!(s.temperature(1000, 0) > 0.0);
+    }
+
+    #[test]
+    fn for_energy_scale_hits_one_percent() {
+        let s = GeometricSchedule::for_energy_scale(100.0, 1000);
+        let end = s.temperature(1000, 1000);
+        assert!((end - 1.0).abs() < 0.01, "end temperature {end}");
+    }
+
+    #[test]
+    fn linear_reaches_zero() {
+        let s = LinearSchedule::new(10.0);
+        assert_eq!(s.temperature(0, 100), 10.0);
+        assert_eq!(s.temperature(100, 100), 0.0);
+        assert_eq!(s.temperature(150, 100), 0.0);
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let s = ConstantSchedule::new(3.0);
+        assert_eq!(s.temperature(0, 10), s.temperature(9, 10));
+    }
+
+    #[test]
+    fn zero_constant_allowed() {
+        assert_eq!(ConstantSchedule::new(0.0).temperature(5, 10), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn geometric_validates_alpha() {
+        let _ = GeometricSchedule::new(1.0, 1.5);
+    }
+
+    #[test]
+    fn display() {
+        assert!(GeometricSchedule::new(1.0, 0.5).to_string().contains("geometric"));
+        assert!(LinearSchedule::new(1.0).to_string().contains("linear"));
+        assert!(ConstantSchedule::new(1.0).to_string().contains("constant"));
+    }
+}

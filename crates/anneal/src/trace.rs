@@ -1,0 +1,134 @@
+use hycim_qubo::Assignment;
+
+/// Record of one annealing run: the energy evolution (paper Fig. 7(f))
+/// plus acceptance statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealTrace {
+    energies: Vec<f64>,
+    best_energy: f64,
+    best_assignment: Assignment,
+    accepted: usize,
+    rejected_metropolis: usize,
+    rejected_infeasible: usize,
+}
+
+impl AnnealTrace {
+    /// Creates an empty trace at the initial state. Public so
+    /// downstream crates can construct traces in tests and adapters.
+    pub fn new(initial_energy: f64, initial: Assignment, record: bool) -> Self {
+        Self {
+            energies: if record { vec![initial_energy] } else { Vec::new() },
+            best_energy: initial_energy,
+            best_assignment: initial,
+            accepted: 0,
+            rejected_metropolis: 0,
+            rejected_infeasible: 0,
+        }
+    }
+
+    pub(crate) fn record_iteration(&mut self, energy: f64, record: bool) {
+        if record {
+            self.energies.push(energy);
+        }
+    }
+
+    pub(crate) fn update_best(&mut self, energy: f64, x: &Assignment) {
+        if energy < self.best_energy {
+            self.best_energy = energy;
+            self.best_assignment = x.clone();
+        }
+    }
+
+    pub(crate) fn count_accept(&mut self) {
+        self.accepted += 1;
+    }
+
+    pub(crate) fn count_reject(&mut self) {
+        self.rejected_metropolis += 1;
+    }
+
+    pub(crate) fn count_infeasible(&mut self) {
+        self.rejected_infeasible += 1;
+    }
+
+    /// Energy after each iteration (index 0 = initial energy). Empty
+    /// if the run was executed without trace recording.
+    pub fn energies(&self) -> &[f64] {
+        &self.energies
+    }
+
+    /// Best (lowest) energy observed.
+    pub fn best_energy(&self) -> f64 {
+        self.best_energy
+    }
+
+    /// Configuration achieving the best energy.
+    pub fn best_assignment(&self) -> &Assignment {
+        &self.best_assignment
+    }
+
+    /// Number of accepted moves.
+    pub fn accepted(&self) -> usize {
+        self.accepted
+    }
+
+    /// Number of moves rejected by the Metropolis criterion.
+    pub fn rejected_metropolis(&self) -> usize {
+        self.rejected_metropolis
+    }
+
+    /// Number of moves vetoed by the feasibility check (the paper's
+    /// "infeasible configurations returned to SA logic").
+    pub fn rejected_infeasible(&self) -> usize {
+        self.rejected_infeasible
+    }
+
+    /// Total iterations executed.
+    pub fn iterations(&self) -> usize {
+        self.accepted + self.rejected_metropolis + self.rejected_infeasible
+    }
+
+    /// Fraction of iterations spent on infeasible proposals — the
+    /// quantity HyCiM's filter keeps from wasting crossbar energy.
+    pub fn infeasible_fraction(&self) -> f64 {
+        if self.iterations() == 0 {
+            return 0.0;
+        }
+        self.rejected_infeasible as f64 / self.iterations() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bookkeeping() {
+        let mut t = AnnealTrace::new(0.0, Assignment::zeros(2), true);
+        t.count_accept();
+        t.count_reject();
+        t.count_infeasible();
+        t.record_iteration(-1.0, true);
+        t.update_best(-1.0, &Assignment::from_bits([true, false]));
+        assert_eq!(t.iterations(), 3);
+        assert_eq!(t.best_energy(), -1.0);
+        assert_eq!(t.energies(), &[0.0, -1.0]);
+        assert!((t.infeasible_fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(t.best_assignment().ones(), 1);
+    }
+
+    #[test]
+    fn best_never_worsens() {
+        let mut t = AnnealTrace::new(-5.0, Assignment::zeros(1), false);
+        t.update_best(-3.0, &Assignment::ones_vec(1));
+        assert_eq!(t.best_energy(), -5.0);
+        assert_eq!(t.best_assignment().ones(), 0);
+    }
+
+    #[test]
+    fn unrecorded_trace_is_empty() {
+        let t = AnnealTrace::new(1.0, Assignment::zeros(1), false);
+        assert!(t.energies().is_empty());
+        assert_eq!(t.infeasible_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the annealing engine.
+
+use hycim_anneal::{
+    Annealer, AnnealState, ConstantSchedule, FlipOutcome, GeometricSchedule, LinearSchedule,
+    PenaltyState, Schedule, SoftwareState,
+};
+use hycim_cop::generator::QkpGenerator;
+use hycim_qubo::dqubo::{AuxEncoding, PenaltyWeights};
+use hycim_qubo::Assignment;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// All schedules produce non-negative, finite temperatures.
+    #[test]
+    fn schedules_are_sane(t0 in 0.1f64..1000.0, alpha in 0.01f64..1.0, iter in 0usize..10_000) {
+        let g = GeometricSchedule::new(t0, alpha);
+        let l = LinearSchedule::new(t0);
+        let c = ConstantSchedule::new(t0);
+        for s in [&g as &dyn Schedule, &l, &c] {
+            let t = s.temperature(iter, 10_000);
+            prop_assert!(t.is_finite() && t >= 0.0);
+        }
+    }
+
+    /// Trace bookkeeping: accepted + rejected + infeasible always
+    /// equals the iteration count, and the best energy is a lower
+    /// bound on every recorded energy.
+    #[test]
+    fn trace_invariants(seed in any::<u64>(), n in 4usize..20, iters in 10usize..400) {
+        let inst = QkpGenerator::new(n, 0.5).generate(seed);
+        let iq = inst.to_inequality_qubo().expect("valid");
+        let mut state = SoftwareState::new(&iq, Assignment::zeros(n));
+        let annealer = Annealer::new(GeometricSchedule::new(50.0, 0.99), iters);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = annealer.run(&mut state, &mut rng);
+        prop_assert_eq!(trace.iterations(), iters);
+        prop_assert_eq!(trace.energies().len(), iters + 1);
+        for &e in trace.energies() {
+            prop_assert!(trace.best_energy() <= e + 1e-9);
+        }
+        prop_assert!(iq.is_feasible(trace.best_assignment()));
+    }
+
+    /// Zero-temperature descent is monotone for any problem.
+    #[test]
+    fn greedy_descent_is_monotone(seed in any::<u64>(), n in 4usize..16) {
+        let inst = QkpGenerator::new(n, 0.75).generate(seed);
+        let iq = inst.to_inequality_qubo().expect("valid");
+        let mut state = SoftwareState::new(&iq, Assignment::zeros(n));
+        let annealer = Annealer::new(ConstantSchedule::new(0.0), 200);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace = annealer.run(&mut state, &mut rng);
+        for w in trace.energies().windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-9);
+        }
+    }
+
+    /// Pair probes are algebraically consistent: probing (i, j) equals
+    /// the sequential flips' total delta.
+    #[test]
+    fn pair_probe_matches_sequential(seed in any::<u64>(), n in 4usize..12) {
+        let inst = QkpGenerator::new(n, 1.0).generate(seed);
+        let iq = inst.to_inequality_qubo().expect("valid");
+        let mut state = SoftwareState::new(&iq, Assignment::zeros(n));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (i, j) = (0, n - 1);
+        if let FlipOutcome::Feasible { delta } = state.probe_pair(i, j, &mut rng) {
+            let before = state.energy();
+            state.commit_pair(i, j, delta);
+            let expected = iq.objective_energy(state.assignment());
+            prop_assert!((state.energy() - expected).abs() < 1e-9);
+            prop_assert!((state.energy() - before - delta).abs() < 1e-9);
+        }
+    }
+
+    /// PenaltyState never vetoes and its energy matches the exact form
+    /// after arbitrary committed walks.
+    #[test]
+    fn penalty_state_consistency(seed in any::<u64>(), n in 3usize..8, steps in 1usize..60) {
+        let inst = QkpGenerator::new(n, 0.5)
+            .with_capacity_range(5, 40)
+            .generate(seed);
+        let form = inst
+            .to_dqubo(PenaltyWeights::PAPER, AuxEncoding::Binary)
+            .expect("transformable");
+        let mut state = PenaltyState::new(&form, Assignment::zeros(form.dim()));
+        let mut rng = StdRng::seed_from_u64(seed);
+        for s in 0..steps {
+            let i = s % form.dim();
+            match state.probe_flip(i, &mut rng) {
+                FlipOutcome::Feasible { delta } => state.commit_flip(i, delta),
+                FlipOutcome::Infeasible => prop_assert!(false, "penalty state vetoed"),
+            }
+        }
+        prop_assert!((state.energy() - form.energy(state.assignment())).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,118 @@
+//! Quality ablations for the design choices called out in DESIGN.md §7
+//! — reports *success rates* (not throughput; see `ablation_benches`
+//! for timing) under each variation:
+//!
+//! * crossbar quantization bits (4..10 for HyCiM),
+//! * comparator noise (ideal / paper / pessimistic),
+//! * swap-move fraction (0 / 0.25 / 0.5),
+//! * D-QUBO auxiliary encoding (one-hot vs binary slack),
+//! * SA schedule (geometric vs linear end-behavior via t_end).
+//!
+//! ```text
+//! cargo run --release -p hycim-bench --bin ablation_report
+//! ```
+
+use hycim_bench::{default_threads, parallel_map, Args};
+use hycim_cim::crossbar::CrossbarConfig;
+use hycim_cim::filter::{ComparatorConfig, FilterConfig};
+use hycim_cop::generator::benchmark_set;
+use hycim_core::success::{run_dqubo_instance, run_hycim_instance, SuccessReport};
+use hycim_core::{DquboConfig, HyCimConfig};
+use hycim_qubo::dqubo::AuxEncoding;
+
+fn main() {
+    let args = Args::parse();
+    let per_density = args.get_usize("per-density", 3); // 12 instances
+    let initials = args.get_usize("initials", 3);
+    let sweeps = args.get_usize("sweeps", 500);
+    let threads = args.get_usize("threads", default_threads());
+    let seed = args.get_u64("seed", 1);
+
+    let instances = benchmark_set(100, per_density);
+    println!(
+        "ablation protocol: {} instances x {initials} initials, {sweeps} sweeps\n",
+        instances.len()
+    );
+
+    let hycim_rate = |config: &HyCimConfig| -> f64 {
+        let reports = parallel_map(
+            instances.iter().enumerate().collect::<Vec<_>>(),
+            threads,
+            |(idx, inst)| {
+                run_hycim_instance(inst, config, initials, seed + *idx as u64)
+                    .expect("mappable")
+            },
+        );
+        SuccessReport { instances: reports }.average_success_rate()
+    };
+
+    // ---- crossbar quantization bits ----------------------------------
+    println!("== crossbar quantization bits (paper uses 7) ==");
+    for bits in [3u32, 4, 5, 7, 10] {
+        let config = HyCimConfig::default()
+            .with_sweeps(sweeps)
+            .with_crossbar(CrossbarConfig::paper().with_bits(bits));
+        println!("  {bits:>2} bits: success {:.1}%", hycim_rate(&config));
+    }
+
+    // ---- comparator noise ---------------------------------------------
+    println!("\n== comparator noise ==");
+    let variants = [
+        ("ideal      ", ComparatorConfig::ideal()),
+        ("paper      ", ComparatorConfig::paper()),
+        (
+            "pessimistic",
+            ComparatorConfig {
+                offset_sigma: 0.3e-3,
+                noise_sigma: 0.15e-3,
+            },
+        ),
+    ];
+    for (name, cmp) in variants {
+        let config = HyCimConfig::default()
+            .with_sweeps(sweeps)
+            .with_filter(FilterConfig::paper().with_comparator(cmp));
+        println!("  {name}: success {:.1}%", hycim_rate(&config));
+    }
+
+    // ---- swap-move fraction --------------------------------------------
+    println!("\n== exchange-move fraction (0 = pure single flips) ==");
+    for swap in [0.0, 0.25, 0.5] {
+        let mut config = HyCimConfig::default().with_sweeps(sweeps);
+        config.swap_probability = swap;
+        println!("  swap {swap:>4}: success {:.1}%", hycim_rate(&config));
+    }
+
+    // ---- D-QUBO encoding -------------------------------------------------
+    println!("\n== D-QUBO auxiliary encoding (baseline side) ==");
+    for (name, enc, dsweeps) in [
+        ("one-hot (paper)", AuxEncoding::OneHot, 100),
+        ("binary slack   ", AuxEncoding::Binary, 300),
+    ] {
+        let config = DquboConfig::default()
+            .with_sweeps(dsweeps)
+            .with_encoding(enc);
+        let reports = parallel_map(
+            instances.iter().enumerate().collect::<Vec<_>>(),
+            threads,
+            |(idx, inst)| {
+                run_dqubo_instance(inst, &config, initials, seed + *idx as u64)
+                    .expect("transformable")
+            },
+        );
+        let report = SuccessReport { instances: reports };
+        println!(
+            "  {name}: success {:.1}%, infeasible finals {:.1}%",
+            report.average_success_rate(),
+            report.infeasible_rate()
+        );
+    }
+
+    // ---- schedule end temperature ---------------------------------------
+    println!("\n== final temperature fraction (t_end / t0) ==");
+    for t_end in [0.05, 0.01, 0.002, 0.0005] {
+        let mut config = HyCimConfig::default().with_sweeps(sweeps);
+        config.t_end_fraction = t_end;
+        println!("  t_end {t_end:>7}: success {:.1}%", hycim_rate(&config));
+    }
+}

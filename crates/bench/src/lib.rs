@@ -1,0 +1,206 @@
+//! Shared harness utilities for the figure/table regeneration binaries
+//! (see DESIGN.md §4 for the experiment index).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::env;
+
+/// Minimal `--key value` / `--flag` argument parser for the bench
+/// binaries (keeps the harness free of CLI dependencies).
+///
+/// # Example
+///
+/// ```
+/// use hycim_bench::Args;
+/// let args = Args::parse_from(["--instances", "8", "--full"].iter().map(|s| s.to_string()));
+/// assert_eq!(args.get_usize("instances", 40), 8);
+/// assert!(args.has_flag("full"));
+/// assert_eq!(args.get_usize("initials", 20), 20);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process's command-line arguments.
+    pub fn parse() -> Self {
+        Self::parse_from(env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                continue;
+            };
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    values.insert(key.to_string(), iter.next().expect("peeked"));
+                }
+                _ => flags.push(key.to_string()),
+            }
+        }
+        Self { values, flags }
+    }
+
+    /// Integer option with default.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .unwrap_or(default)
+    }
+
+    /// u64 option with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .unwrap_or(default)
+    }
+
+    /// Float option with default.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.values
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number")))
+            .unwrap_or(default)
+    }
+
+    /// Whether a bare flag was passed.
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Minimum and maximum of a slice.
+pub fn min_max(xs: &[f64]) -> (f64, f64) {
+    xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+        (lo.min(x), hi.max(x))
+    })
+}
+
+/// Runs `job` for every item of `items` across `threads` worker
+/// threads, preserving input order in the output.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, job: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    assert!(threads > 0, "need at least one thread");
+    let n = items.len();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let next_ref = &next;
+    let items_ref = &items;
+    let job_ref = &job;
+    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
+        results.iter_mut().map(std::sync::Mutex::new).collect();
+    let slots_ref = &slots;
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n.max(1)) {
+            scope.spawn(move || loop {
+                let idx = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let r = job_ref(&items_ref[idx]);
+                **slots_ref[idx].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    drop(slots);
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Number of worker threads to use: respects `HYCIM_THREADS`, else
+/// available parallelism, else 4.
+pub fn default_threads() -> usize {
+    if let Ok(v) = env::var("HYCIM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Renders a sparkline-style ASCII bar for quick terminal plots.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let filled = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    "#".repeat(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_values_and_flags() {
+        let args = Args::parse_from(
+            ["--a", "3", "--flag", "--b", "2.5"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(args.get_usize("a", 0), 3);
+        assert!((args.get_f64("b", 0.0) - 2.5).abs() < 1e-12);
+        assert!(args.has_flag("flag"));
+        assert!(!args.has_flag("absent"));
+        assert_eq!(args.get_u64("absent", 9), 9);
+    }
+
+    #[test]
+    fn stats() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!(std_dev(&xs) > 1.0 && std_dev(&xs) < 1.2);
+        assert_eq!(min_max(&xs), (1.0, 4.0));
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(items, 8, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bar_rendering() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10), "##########");
+    }
+}

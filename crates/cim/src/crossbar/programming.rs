@@ -1,0 +1,220 @@
+//! Pulse-accurate crossbar programming: the write/verify cycle that
+//! turns a bit-plane mapping into physical device states, using the
+//! Preisach polarization model of [`hycim_fefet::preisach`].
+//!
+//! The paper's measurement protocol erases and reprograms the whole
+//! chip before every run (Fig. 7(f)); this module models that cycle —
+//! erase, program pulses per the target level, read-verify, retry —
+//! and reports write statistics, connecting the device-physics layer
+//! to the array layer end to end.
+
+use hycim_fefet::preisach::PolarizationState;
+use hycim_fefet::{MultiLevelSpec, VariationModel, WritePulse};
+use rand::Rng;
+
+/// Outcome of programming one array of target levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgrammingReport {
+    /// Cells programmed.
+    pub cells: usize,
+    /// Total write pulses issued (including erases and retries).
+    pub pulses: usize,
+    /// Cells that failed verification even after retries.
+    pub failures: usize,
+    /// Worst final threshold-voltage error (V) among verified cells.
+    pub worst_vt_error: f64,
+}
+
+impl ProgrammingReport {
+    /// Average pulses per cell.
+    pub fn pulses_per_cell(&self) -> f64 {
+        if self.cells == 0 {
+            return 0.0;
+        }
+        self.pulses as f64 / self.cells as f64
+    }
+
+    /// Whether every cell verified.
+    pub fn all_verified(&self) -> bool {
+        self.failures == 0
+    }
+}
+
+/// Write/verify engine with bounded retries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgrammingEngine {
+    spec: MultiLevelSpec,
+    /// Accept a cell when its threshold is within this margin (V) of
+    /// the target level's nominal threshold.
+    verify_margin: f64,
+    /// Maximum program attempts per cell after the initial erase.
+    max_retries: usize,
+}
+
+impl ProgrammingEngine {
+    /// Engine with the paper-style margin: a quarter of the level
+    /// pitch, tight enough that every staircase read voltage stays on
+    /// the right side of the written threshold.
+    pub fn new(spec: &MultiLevelSpec) -> Self {
+        let pitch = (spec.threshold(0) - spec.threshold(spec.max_level()))
+            / f64::from(spec.max_level().max(1));
+        Self {
+            spec: spec.clone(),
+            verify_margin: pitch / 4.0,
+            max_retries: 8,
+        }
+    }
+
+    /// Overrides the verify margin (V).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin <= 0`.
+    pub fn with_verify_margin(mut self, margin: f64) -> Self {
+        assert!(margin > 0.0, "margin must be positive");
+        self.verify_margin = margin;
+        self
+    }
+
+    /// Programs one device to `level` with write/verify, returning the
+    /// pulse count and final Vt error, or `None` if verification never
+    /// passed. `vt_offset` is the device's fixed mismatch (the write
+    /// loop *cannot see it directly* — it only reads back the shifted
+    /// threshold, like real write-verify hardware).
+    pub fn program_cell<R: Rng + ?Sized>(
+        &self,
+        level: u8,
+        vt_offset: f64,
+        _rng: &mut R,
+    ) -> Option<(usize, f64)> {
+        let mut p = PolarizationState::new(&self.spec);
+        let target = self.spec.threshold(level);
+        let mut pulses = 1; // the initial saturating erase
+        p.apply_pulse(&WritePulse::erase(-4.0, 2000.0));
+        if level == 0 {
+            let err = (p.threshold_voltage() + vt_offset - target).abs() - vt_offset.abs();
+            return Some((pulses, err.max(0.0)));
+        }
+        // Coarse shot: the analytic pulse for the nominal level.
+        p.program_level(level, &self.spec);
+        pulses += 2; // program_level = erase + program
+        // Verify/trim loop: nudge with short pulses until the *read*
+        // threshold (device Vt + offset) is inside the margin.
+        for _ in 0..self.max_retries {
+            let read_vt = p.threshold_voltage() + vt_offset;
+            let err = read_vt - target;
+            if err.abs() <= self.verify_margin {
+                return Some((pulses, err.abs()));
+            }
+            // Too high → polarize more (program); too low → erase a bit.
+            let pulse = if err > 0.0 {
+                WritePulse::program(3.0, 8.0)
+            } else {
+                WritePulse::erase(-3.0, 8.0)
+            };
+            p.apply_pulse(&pulse);
+            pulses += 1;
+        }
+        let final_err = (p.threshold_voltage() + vt_offset - target).abs();
+        if final_err <= self.verify_margin {
+            Some((pulses, final_err))
+        } else {
+            None
+        }
+    }
+
+    /// Programs a whole array of target levels with per-cell sampled
+    /// device mismatch, aggregating statistics.
+    pub fn program_array<R: Rng + ?Sized>(
+        &self,
+        levels: &[u8],
+        variation: &VariationModel,
+        rng: &mut R,
+    ) -> ProgrammingReport {
+        let mut pulses = 0;
+        let mut failures = 0;
+        let mut worst = 0.0f64;
+        for &level in levels {
+            let offset = variation.sample_d2d_offset(rng);
+            match self.program_cell(level, offset, rng) {
+                Some((p, err)) => {
+                    pulses += p;
+                    worst = worst.max(err);
+                }
+                None => failures += 1,
+            }
+        }
+        ProgrammingReport {
+            cells: levels.len(),
+            pulses,
+            failures,
+            worst_vt_error: worst,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec() -> MultiLevelSpec {
+        MultiLevelSpec::paper_filter()
+    }
+
+    #[test]
+    fn ideal_cells_program_first_try() {
+        let engine = ProgrammingEngine::new(&spec());
+        let mut rng = StdRng::seed_from_u64(1);
+        for level in 0..=4u8 {
+            let (pulses, err) = engine
+                .program_cell(level, 0.0, &mut rng)
+                .expect("ideal cell verifies");
+            assert!(pulses <= 4, "level {level} took {pulses} pulses");
+            assert!(err <= engine.verify_margin, "level {level} err {err}");
+        }
+    }
+
+    #[test]
+    fn mismatched_cells_need_trim_pulses() {
+        let engine = ProgrammingEngine::new(&spec());
+        let mut rng = StdRng::seed_from_u64(2);
+        // +80 mV offset: outside the 125 mV margin? No — inside. Use
+        // an offset beyond the margin so trimming must engage.
+        let offset = engine.verify_margin * 1.5;
+        let (pulses_ideal, _) = engine.program_cell(3, 0.0, &mut rng).unwrap();
+        let (pulses_off, err) = engine
+            .program_cell(3, offset, &mut rng)
+            .expect("trimmable");
+        assert!(pulses_off > pulses_ideal, "no trim pulses issued");
+        assert!(err <= engine.verify_margin);
+    }
+
+    #[test]
+    fn array_programming_statistics() {
+        let engine = ProgrammingEngine::new(&spec());
+        let mut rng = StdRng::seed_from_u64(3);
+        let levels: Vec<u8> = (0..64).map(|i| (i % 5) as u8).collect();
+        let report = engine.program_array(&levels, &VariationModel::paper(), &mut rng);
+        assert_eq!(report.cells, 64);
+        assert!(report.all_verified(), "{} failures", report.failures);
+        assert!(report.pulses_per_cell() >= 1.0);
+        assert!(report.worst_vt_error <= engine.verify_margin);
+    }
+
+    #[test]
+    fn hopeless_margin_reports_failures() {
+        let engine = ProgrammingEngine::new(&spec()).with_verify_margin(1e-6);
+        let mut rng = StdRng::seed_from_u64(4);
+        // Huge mismatch that trimming cannot fully cancel at 1 µV margin.
+        let result = engine.program_cell(2, 0.3, &mut rng);
+        assert!(result.is_none(), "expected verification failure");
+    }
+
+    #[test]
+    #[should_panic(expected = "margin")]
+    fn zero_margin_rejected() {
+        let _ = ProgrammingEngine::new(&spec()).with_verify_margin(0.0);
+    }
+}

@@ -1,0 +1,90 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the CiM circuit substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CimError {
+    /// An item weight cannot be decomposed into the array's cells
+    /// (`w > rows × max_cell_level`).
+    WeightTooLarge {
+        /// Item index.
+        item: usize,
+        /// The weight that does not fit.
+        weight: u64,
+        /// Largest representable weight per column.
+        limit: u64,
+    },
+    /// The capacity cannot be encoded in the replica array.
+    CapacityTooLarge {
+        /// Requested capacity.
+        capacity: u64,
+        /// Largest encodable capacity.
+        limit: u64,
+    },
+    /// Array dimensions do not match the input configuration.
+    DimensionMismatch {
+        /// Columns in the array.
+        expected: usize,
+        /// Length of the supplied configuration.
+        found: usize,
+    },
+    /// A matrix does not fit the crossbar's dimensions or bit budget.
+    MatrixTooLarge {
+        /// Matrix dimension requested.
+        dim: usize,
+        /// Crossbar dimension available.
+        limit: usize,
+    },
+    /// The problem has zero variables.
+    EmptyProblem,
+}
+
+impl fmt::Display for CimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CimError::WeightTooLarge {
+                item,
+                weight,
+                limit,
+            } => write!(
+                f,
+                "item {item} weight {weight} exceeds per-column limit {limit}"
+            ),
+            CimError::CapacityTooLarge { capacity, limit } => {
+                write!(f, "capacity {capacity} exceeds replica limit {limit}")
+            }
+            CimError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: array has {expected} columns, input has {found}")
+            }
+            CimError::MatrixTooLarge { dim, limit } => {
+                write!(f, "matrix dimension {dim} exceeds crossbar limit {limit}")
+            }
+            CimError::EmptyProblem => write!(f, "problem has zero variables"),
+        }
+    }
+}
+
+impl Error for CimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = CimError::WeightTooLarge {
+            item: 3,
+            weight: 99,
+            limit: 64,
+        };
+        assert!(e.to_string().contains("item 3"));
+        assert!(e.to_string().contains("99"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CimError>();
+    }
+}

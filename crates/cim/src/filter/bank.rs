@@ -1,0 +1,249 @@
+use std::fmt;
+
+use hycim_qubo::{Assignment, LinearConstraint};
+use rand::Rng;
+
+use crate::filter::{FilterConfig, FilterDecision, InequalityFilter};
+use crate::CimError;
+
+/// A bank of inequality filters evaluating several constraints in
+/// parallel — the natural multi-constraint generalization of the
+/// paper's single-filter architecture (Sec 3.3), needed for COPs like
+/// bin packing where every bin contributes one `Σ sᵢx_{i,k} ≤ C`
+/// inequality (paper Sec 1 lists bin packing among the motivating
+/// problems).
+///
+/// A configuration is admitted only when **every** filter reports it
+/// feasible; in hardware all filters evaluate concurrently in the same
+/// 4-phase read, so the bank costs one filter latency regardless of
+/// the constraint count.
+///
+/// # Example
+///
+/// ```
+/// use hycim_cim::filter::{FilterBank, FilterConfig};
+/// use hycim_qubo::{Assignment, LinearConstraint};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let constraints = vec![
+///     LinearConstraint::new(vec![3, 0, 4], 5)?,
+///     LinearConstraint::new(vec![0, 6, 2], 7)?,
+/// ];
+/// let bank = FilterBank::build(&constraints, &FilterConfig::default(), &mut rng)?;
+/// let x = Assignment::from_bits([true, true, false]);
+/// assert!(bank.classify(&x, &mut rng).is_feasible()); // 3 ≤ 5 and 6 ≤ 7
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FilterBank {
+    filters: Vec<InequalityFilter>,
+    constraints: Vec<LinearConstraint>,
+}
+
+/// Outcome of one bank evaluation: per-filter decisions plus the
+/// aggregate verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankDecision {
+    decisions: Vec<FilterDecision>,
+}
+
+impl BankDecision {
+    /// Whether every constraint was classified feasible.
+    pub fn is_feasible(&self) -> bool {
+        self.decisions.iter().all(FilterDecision::is_feasible)
+    }
+
+    /// Per-filter decisions, in constraint order.
+    pub fn decisions(&self) -> &[FilterDecision] {
+        &self.decisions
+    }
+
+    /// Index of the first violated constraint, if any.
+    pub fn first_violation(&self) -> Option<usize> {
+        self.decisions.iter().position(|d| !d.is_feasible())
+    }
+}
+
+impl FilterBank {
+    /// Builds one filter per constraint. All constraints must share
+    /// the same variable count.
+    ///
+    /// # Errors
+    ///
+    /// * [`CimError::EmptyProblem`] for an empty constraint list.
+    /// * [`CimError::DimensionMismatch`] if constraint dimensions
+    ///   disagree.
+    /// * Per-filter mapping errors ([`CimError::WeightTooLarge`],
+    ///   [`CimError::CapacityTooLarge`]).
+    pub fn build<R: Rng + ?Sized>(
+        constraints: &[LinearConstraint],
+        config: &FilterConfig,
+        rng: &mut R,
+    ) -> Result<Self, CimError> {
+        let Some(first) = constraints.first() else {
+            return Err(CimError::EmptyProblem);
+        };
+        let dim = first.dim();
+        let mut filters = Vec::with_capacity(constraints.len());
+        for c in constraints {
+            if c.dim() != dim {
+                return Err(CimError::DimensionMismatch {
+                    expected: dim,
+                    found: c.dim(),
+                });
+            }
+            filters.push(InequalityFilter::build(
+                c.weights(),
+                c.capacity(),
+                config,
+                rng,
+            )?);
+        }
+        Ok(Self {
+            filters,
+            constraints: constraints.to_vec(),
+        })
+    }
+
+    /// Number of constraints / filters.
+    pub fn len(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Whether the bank is empty (never true for a built bank).
+    pub fn is_empty(&self) -> bool {
+        self.filters.is_empty()
+    }
+
+    /// Number of variables.
+    pub fn dim(&self) -> usize {
+        self.constraints[0].dim()
+    }
+
+    /// The constraints encoded in the bank.
+    pub fn constraints(&self) -> &[LinearConstraint] {
+        &self.constraints
+    }
+
+    /// The individual filters.
+    pub fn filters(&self) -> &[InequalityFilter] {
+        &self.filters
+    }
+
+    /// Evaluates a configuration against every constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn classify<R: Rng + ?Sized>(&self, x: &Assignment, rng: &mut R) -> BankDecision {
+        BankDecision {
+            decisions: self
+                .filters
+                .iter()
+                .map(|f| f.classify(x, rng))
+                .collect(),
+        }
+    }
+
+    /// Fast-path evaluation from precomputed per-constraint loads (the
+    /// SA loop tracks each load incrementally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads.len() != self.len()`.
+    pub fn classify_loads<R: Rng + ?Sized>(&self, loads: &[u64], rng: &mut R) -> BankDecision {
+        assert_eq!(loads.len(), self.len(), "one load per constraint");
+        BankDecision {
+            decisions: self
+                .filters
+                .iter()
+                .zip(loads)
+                .map(|(f, &load)| f.classify_load(load, rng))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for FilterBank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FilterBank({} constraints, n={})", self.len(), self.dim())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn constraints() -> Vec<LinearConstraint> {
+        vec![
+            LinearConstraint::new(vec![3, 0, 4, 1], 5).unwrap(),
+            LinearConstraint::new(vec![0, 6, 2, 2], 7).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn build_and_classify() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bank = FilterBank::build(&constraints(), &FilterConfig::default(), &mut rng)
+            .expect("buildable");
+        assert_eq!(bank.len(), 2);
+        assert_eq!(bank.dim(), 4);
+
+        // x = 1100: loads (3, 6) → both within capacity.
+        let ok = bank.classify(&Assignment::parse_bit_string("1100").unwrap(), &mut rng);
+        assert!(ok.is_feasible());
+        assert!(ok.first_violation().is_none());
+
+        // x = 1010: loads (7, 2) → first constraint violated (7 > 5).
+        let bad = bank.classify(&Assignment::parse_bit_string("1010").unwrap(), &mut rng);
+        assert!(!bad.is_feasible());
+        assert_eq!(bad.first_violation(), Some(0));
+        assert_eq!(bad.decisions().len(), 2);
+    }
+
+    #[test]
+    fn fast_path_agrees_with_full_path() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cs = constraints();
+        let bank = FilterBank::build(&cs, &FilterConfig::default(), &mut rng).unwrap();
+        for bits in 0u32..16 {
+            let x = Assignment::from_bits((0..4).map(|i| bits >> i & 1 == 1));
+            let loads: Vec<u64> = cs.iter().map(|c| c.load(&x)).collect();
+            let full = bank.classify(&x, &mut rng).is_feasible();
+            let fast = bank.classify_loads(&loads, &mut rng).is_feasible();
+            let exact = cs.iter().all(|c| c.is_satisfied(&x));
+            assert_eq!(full, exact, "full path wrong for {x}");
+            assert_eq!(fast, exact, "fast path wrong for {x}");
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(matches!(
+            FilterBank::build(&[], &FilterConfig::default(), &mut rng),
+            Err(CimError::EmptyProblem)
+        ));
+        let mismatched = vec![
+            LinearConstraint::new(vec![1, 2], 3).unwrap(),
+            LinearConstraint::new(vec![1, 2, 3], 4).unwrap(),
+        ];
+        assert!(matches!(
+            FilterBank::build(&mismatched, &FilterConfig::default(), &mut rng),
+            Err(CimError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn display_shows_count() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let bank = FilterBank::build(&constraints(), &FilterConfig::default(), &mut rng)
+            .unwrap();
+        assert!(bank.to_string().contains("2 constraints"));
+    }
+}

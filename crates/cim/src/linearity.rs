@@ -1,0 +1,179 @@
+//! Current-linearity measurement of a FeFET CiM array — the
+//! experimental protocol behind paper Fig. 7(d): on the fabricated
+//! 32×32 chip, the summed read current is measured against the number
+//! of activated cells; good linearity validates that the crossbar's
+//! analog accumulation faithfully counts conducting cells.
+
+use hycim_fefet::{FefetCell, MultiLevelSpec, VariationModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One linearity measurement: for each activation count `k`, the mean
+/// and standard deviation of the summed array current across repeated
+/// measurements (paper Fig. 7(d) plots current vs number of activated
+/// cells with experimental scatter).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearitySweep {
+    /// Activation counts measured (0..=max_cells).
+    pub counts: Vec<usize>,
+    /// Mean summed current per count (A).
+    pub mean_current: Vec<f64>,
+    /// Standard deviation across measurements (A).
+    pub std_current: Vec<f64>,
+}
+
+impl LinearitySweep {
+    /// Least-squares slope of mean current vs count (A per cell).
+    pub fn slope(&self) -> f64 {
+        let n = self.counts.len() as f64;
+        let sx: f64 = self.counts.iter().map(|&c| c as f64).sum();
+        let sy: f64 = self.mean_current.iter().sum();
+        let sxx: f64 = self.counts.iter().map(|&c| (c as f64).powi(2)).sum();
+        let sxy: f64 = self
+            .counts
+            .iter()
+            .zip(&self.mean_current)
+            .map(|(&c, &i)| c as f64 * i)
+            .sum();
+        (n * sxy - sx * sy) / (n * sxx - sx * sx)
+    }
+
+    /// Coefficient of determination R² of the linear fit — the
+    /// "good linearity" metric of Fig. 7(d).
+    pub fn r_squared(&self) -> f64 {
+        let slope = self.slope();
+        let n = self.counts.len() as f64;
+        let mean_y = self.mean_current.iter().sum::<f64>() / n;
+        let mean_x = self.counts.iter().map(|&c| c as f64).sum::<f64>() / n;
+        let intercept = mean_y - slope * mean_x;
+        let ss_res: f64 = self
+            .counts
+            .iter()
+            .zip(&self.mean_current)
+            .map(|(&c, &y)| (y - (slope * c as f64 + intercept)).powi(2))
+            .sum();
+        let ss_tot: f64 = self.mean_current.iter().map(|&y| (y - mean_y).powi(2)).sum();
+        if ss_tot == 0.0 {
+            return 1.0;
+        }
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Runs the Fig. 7(d) protocol on a simulated `rows × cols` chip:
+/// program all cells ON, activate `k = 0..=max_active` cells, and
+/// measure the summed current over `measurements` independent seeded
+/// runs (the paper uses a 32×32 chip and sweeps to 32 cells).
+///
+/// # Panics
+///
+/// Panics if `max_active > rows * cols` or `measurements == 0`.
+///
+/// # Example
+///
+/// ```
+/// use hycim_cim::linearity::measure_linearity;
+/// use hycim_fefet::VariationModel;
+///
+/// let sweep = measure_linearity(32, 32, 32, 9, &VariationModel::paper(), 42);
+/// // ~2 µA per activated cell, highly linear.
+/// assert!((sweep.slope() - 2.0e-6).abs() < 0.2e-6);
+/// assert!(sweep.r_squared() > 0.999);
+/// ```
+pub fn measure_linearity(
+    rows: usize,
+    cols: usize,
+    max_active: usize,
+    measurements: usize,
+    variation: &VariationModel,
+    seed: u64,
+) -> LinearitySweep {
+    assert!(max_active <= rows * cols, "cannot activate more cells than exist");
+    assert!(measurements > 0, "need at least one measurement");
+    let spec = MultiLevelSpec::paper_binary();
+    let vread = spec.read_voltage(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Fabricate the chip once: every cell programmed ON.
+    let mut cells: Vec<FefetCell> = (0..rows * cols)
+        .map(|_| {
+            let mut c = FefetCell::sample(&spec, variation, &mut rng);
+            c.program(1);
+            c
+        })
+        .collect();
+
+    let counts: Vec<usize> = (0..=max_active).collect();
+    let mut mean_current = Vec::with_capacity(counts.len());
+    let mut std_current = Vec::with_capacity(counts.len());
+    for &k in &counts {
+        let mut samples = Vec::with_capacity(measurements);
+        for m in 0..measurements {
+            // Each measurement re-erases and re-programs the chip
+            // (per the paper's Fig. 7(f) protocol), which re-rolls
+            // cycle-to-cycle state; choose k distinct cells.
+            let mut order: Vec<usize> = (0..rows * cols).collect();
+            for i in (1..order.len()).rev() {
+                let j = rng.random_range(0..=i);
+                order.swap(i, j);
+            }
+            let _ = m;
+            let total: f64 = order[..k]
+                .iter()
+                .map(|&idx| cells[idx].current(vread, &mut rng))
+                .sum();
+            samples.push(total);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64;
+        mean_current.push(mean);
+        std_current.push(var.sqrt());
+    }
+    // Keep the chip alive until the end (mirrors reprogramming).
+    cells.clear();
+    LinearitySweep {
+        counts,
+        mean_current,
+        std_current,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_chip_is_perfectly_linear() {
+        let sweep = measure_linearity(8, 8, 16, 3, &VariationModel::none(), 1);
+        assert!(sweep.r_squared() > 0.999999);
+        // Slope sits just below the 2 µA clamp (series blend with the
+        // FeFET's finite ON resistance).
+        assert!((sweep.slope() - 2.0e-6).abs() < 0.1e-6);
+        assert!(sweep.std_current.iter().all(|&s| s < 1e-9));
+    }
+
+    #[test]
+    fn paper_chip_linearity_matches_fig7d() {
+        // 32×32, sweep to 32 cells, 9 measurements: slope ≈ 2 µA/cell,
+        // maximum ≈ 64 µA — the Fig. 7(d) axes.
+        let sweep = measure_linearity(32, 32, 32, 9, &VariationModel::paper(), 2);
+        assert_eq!(sweep.counts.len(), 33);
+        assert!(sweep.r_squared() > 0.999, "R² = {}", sweep.r_squared());
+        let max = sweep.mean_current.last().unwrap();
+        assert!((55e-6..75e-6).contains(max), "max current {max:.2e}");
+    }
+
+    #[test]
+    fn variability_produces_scatter() {
+        let noisy = measure_linearity(16, 16, 16, 9, &VariationModel::paper(), 3);
+        let mid = noisy.counts.len() / 2;
+        assert!(noisy.std_current[mid] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "activate")]
+    fn overlarge_activation_panics() {
+        let _ = measure_linearity(2, 2, 5, 1, &VariationModel::none(), 4);
+    }
+}

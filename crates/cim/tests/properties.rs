@@ -1,0 +1,139 @@
+//! Property-based tests of the CiM circuit invariants.
+
+use hycim_cim::crossbar::{Crossbar, CrossbarConfig};
+use hycim_cim::filter::{ComparatorConfig, FilterConfig, InequalityFilter};
+use hycim_cim::Fidelity;
+use hycim_fefet::VariationModel;
+use hycim_qubo::{Assignment, QuboMatrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn ideal_filter_config(fidelity: Fidelity) -> FilterConfig {
+    FilterConfig::default()
+        .with_variation(VariationModel::none())
+        .with_comparator(ComparatorConfig::ideal())
+        .with_fidelity(fidelity)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The ideal filter computes exactly `Σwᵢxᵢ ≤ C` in both
+    /// fidelities, for arbitrary weights and capacities in range.
+    #[test]
+    fn ideal_filter_matches_arithmetic(
+        weights in proptest::collection::vec(0u64..=64, 1..20),
+        cap_raw in 1u64..200,
+        x_bits in proptest::collection::vec(any::<bool>(), 20),
+        seed in any::<u64>(),
+    ) {
+        let n = weights.len();
+        let capacity = cap_raw.min(64 * n as u64).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for fidelity in [Fidelity::Fast, Fidelity::DeviceAccurate] {
+            let filter = InequalityFilter::build(
+                &weights, capacity, &ideal_filter_config(fidelity), &mut rng,
+            ).expect("in-range weights");
+            let x = Assignment::from_bits(x_bits[..n].iter().copied());
+            let load: u64 = weights.iter().zip(x.iter())
+                .filter(|(_, b)| *b).map(|(w, _)| *w).sum();
+            prop_assert_eq!(
+                filter.classify(&x, &mut rng).is_feasible(),
+                load <= capacity,
+                "fidelity {} load {} cap {}", fidelity, load, capacity
+            );
+        }
+    }
+
+    /// The filter's ML voltage is monotone non-increasing in the load:
+    /// heavier configurations never read higher.
+    #[test]
+    fn ml_is_monotone_in_load(
+        loads in proptest::collection::vec(0u64..=1000, 2..10),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let filter = InequalityFilter::build(
+            &[50; 20], 500, &ideal_filter_config(Fidelity::Fast), &mut rng,
+        ).expect("valid");
+        let mut sorted = loads.clone();
+        sorted.sort_unstable();
+        let mls: Vec<f64> = sorted.iter()
+            .map(|&l| filter.classify_load(l, &mut rng).ml())
+            .collect();
+        for w in mls.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12, "ML rose with load: {:?}", mls);
+        }
+    }
+
+    /// An ideal crossbar reproduces integer QUBO energies exactly when
+    /// the coefficients fit the bit budget.
+    #[test]
+    fn ideal_crossbar_is_exact(
+        coeffs in proptest::collection::vec(-100i64..=100, 1..=28),
+        seed in any::<u64>(),
+    ) {
+        // Fill an upper-triangular matrix from the coefficient list.
+        let n = ((-1.0 + (1.0 + 8.0 * coeffs.len() as f64).sqrt()) / 2.0).floor() as usize;
+        prop_assume!(n >= 1);
+        let mut q = QuboMatrix::zeros(n);
+        let mut it = coeffs.into_iter();
+        for i in 0..n {
+            for j in i..n {
+                q.set(i, j, it.next().unwrap_or(0) as f64);
+            }
+        }
+        let cfg = CrossbarConfig::paper().with_variation(VariationModel::none());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xbar = Crossbar::program(&q, &cfg, &mut rng).expect("programmable");
+        let x = Assignment::random(n, &mut rng);
+        prop_assert!((xbar.compute_energy(&x, &mut rng) - q.energy(&x)).abs() < 1e-6);
+    }
+
+    /// Crossbar readout noise sigma is monotone in the active cell
+    /// count and zero for zero cells.
+    #[test]
+    fn readout_sigma_monotone(a in 0usize..10_000, b in 0usize..10_000, seed in any::<u64>()) {
+        let mut q = QuboMatrix::zeros(4);
+        q.set(0, 1, -5.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xbar = Crossbar::program(&q, &CrossbarConfig::paper(), &mut rng).expect("ok");
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(xbar.readout_sigma(lo) <= xbar.readout_sigma(hi));
+        prop_assert_eq!(xbar.readout_sigma(0), 0.0);
+    }
+}
+
+/// Device-accurate and fast filter paths agree in mean ML voltage.
+#[test]
+fn filter_fidelities_agree_in_mean() {
+    let weights: Vec<u64> = (1..=30).map(|i| (i * 7) % 50 + 1).collect();
+    let mut rng = StdRng::seed_from_u64(99);
+    let dev = InequalityFilter::build(
+        &weights,
+        300,
+        &FilterConfig::default().with_fidelity(Fidelity::DeviceAccurate),
+        &mut rng,
+    )
+    .unwrap();
+    let fast = InequalityFilter::build(
+        &weights,
+        300,
+        &FilterConfig::default().with_fidelity(Fidelity::Fast),
+        &mut rng,
+    )
+    .unwrap();
+    let x = Assignment::from_bits((0..30).map(|i| i % 3 == 0));
+    let avg = |f: &InequalityFilter, rng: &mut StdRng| {
+        (0..200).map(|_| f.classify(&x, rng).ml()).sum::<f64>() / 200.0
+    };
+    let m_dev = avg(&dev, &mut rng);
+    let m_fast = avg(&fast, &mut rng);
+    let unit = hycim_cim::MatchlineConfig::default().unit_drop();
+    assert!(
+        (m_dev - m_fast).abs() < 3.0 * unit,
+        "means differ by {} units",
+        (m_dev - m_fast).abs() / unit
+    );
+}

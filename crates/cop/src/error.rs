@@ -1,0 +1,93 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the COP layer (instance construction, parsing,
+/// and solver preconditions).
+///
+/// # Example
+///
+/// ```
+/// use hycim_cop::{CopError, QkpInstance};
+///
+/// let err = QkpInstance::new(vec![], vec![], 10).unwrap_err();
+/// assert!(matches!(err, CopError::EmptyInstance));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CopError {
+    /// Instance has zero items.
+    EmptyInstance,
+    /// Profit matrix and weight vector disagree on the item count.
+    SizeMismatch {
+        /// Number of items implied by the profit matrix.
+        profits: usize,
+        /// Number of items implied by the weight vector.
+        weights: usize,
+    },
+    /// Capacity is zero.
+    ZeroCapacity,
+    /// An item weight is zero (items must consume capacity).
+    ZeroWeight {
+        /// Index of the offending item.
+        item: usize,
+    },
+    /// A text instance file could not be parsed.
+    ParseFailure {
+        /// 1-based line number where parsing failed.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Solver precondition violated (e.g. exhaustive search on a large
+    /// instance).
+    TooLarge {
+        /// Item count supplied.
+        items: usize,
+        /// Maximum the solver supports.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CopError::EmptyInstance => write!(f, "instance has zero items"),
+            CopError::SizeMismatch { profits, weights } => write!(
+                f,
+                "size mismatch: profit matrix has {profits} items, weight vector {weights}"
+            ),
+            CopError::ZeroCapacity => write!(f, "knapsack capacity is zero"),
+            CopError::ZeroWeight { item } => write!(f, "item {item} has zero weight"),
+            CopError::ParseFailure { line, reason } => {
+                write!(f, "parse failure at line {line}: {reason}")
+            }
+            CopError::TooLarge { items, limit } => {
+                write!(f, "instance with {items} items exceeds solver limit {limit}")
+            }
+        }
+    }
+}
+
+impl Error for CopError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(CopError::EmptyInstance.to_string(), "instance has zero items");
+        assert!(CopError::ParseFailure {
+            line: 3,
+            reason: "bad token".into()
+        }
+        .to_string()
+        .contains("line 3"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CopError>();
+    }
+}

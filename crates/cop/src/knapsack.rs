@@ -1,0 +1,196 @@
+//! The linear 0/1 knapsack special case (pair profits all zero) with
+//! an exact dynamic-programming solver.
+//!
+//! Used in tests as ground truth, and as the simplest member of the
+//! paper's "COPs with inequality constraints" family (Sec 1).
+
+use hycim_qubo::Assignment;
+
+use crate::{CopError, QkpInstance};
+
+/// A linear 0/1 knapsack instance: profits, weights, capacity.
+///
+/// # Example
+///
+/// ```
+/// use hycim_cop::knapsack::Knapsack;
+///
+/// # fn main() -> Result<(), hycim_cop::CopError> {
+/// let ks = Knapsack::new(vec![60, 100, 120], vec![10, 20, 30], 50)?;
+/// let (x, value) = ks.solve_exact();
+/// assert_eq!(value, 220);
+/// assert!(ks.is_feasible(&x));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Knapsack {
+    profits: Vec<u64>,
+    weights: Vec<u64>,
+    capacity: u64,
+}
+
+impl Knapsack {
+    /// Creates a knapsack instance.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`QkpInstance::new`].
+    pub fn new(profits: Vec<u64>, weights: Vec<u64>, capacity: u64) -> Result<Self, CopError> {
+        // Reuse the QKP validation rules.
+        QkpInstance::new(profits.clone(), weights.clone(), capacity)?;
+        Ok(Self {
+            profits,
+            weights,
+            capacity,
+        })
+    }
+
+    /// Number of items.
+    pub fn num_items(&self) -> usize {
+        self.profits.len()
+    }
+
+    /// Capacity `C`.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Item profits.
+    pub fn profits(&self) -> &[u64] {
+        &self.profits
+    }
+
+    /// Item weights.
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Profit of a selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_items()`.
+    pub fn value(&self, x: &Assignment) -> u64 {
+        assert_eq!(x.len(), self.num_items(), "assignment length mismatch");
+        self.profits
+            .iter()
+            .zip(x.iter())
+            .filter(|(_, b)| *b)
+            .map(|(p, _)| *p)
+            .sum()
+    }
+
+    /// Whether the selection fits the capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_items()`.
+    pub fn is_feasible(&self, x: &Assignment) -> bool {
+        let load: u64 = self
+            .weights
+            .iter()
+            .zip(x.iter())
+            .filter(|(_, b)| *b)
+            .map(|(w, _)| *w)
+            .sum();
+        load <= self.capacity
+    }
+
+    /// Exact optimum via O(n·C) dynamic programming with solution
+    /// reconstruction.
+    pub fn solve_exact(&self) -> (Assignment, u64) {
+        let n = self.num_items();
+        let cap = self.capacity as usize;
+        // best[c] = max profit with capacity c; keep per-item take
+        // decisions for reconstruction.
+        let mut best = vec![0u64; cap + 1];
+        let mut take = vec![vec![false; cap + 1]; n];
+        for i in 0..n {
+            let w = self.weights[i] as usize;
+            let p = self.profits[i];
+            if w > cap {
+                continue;
+            }
+            for c in (w..=cap).rev() {
+                let candidate = best[c - w] + p;
+                if candidate > best[c] {
+                    best[c] = candidate;
+                    take[i][c] = true;
+                }
+            }
+        }
+        // Reconstruct: walk items in reverse.
+        let mut x = Assignment::zeros(n);
+        let mut c = cap;
+        for i in (0..n).rev() {
+            if take[i][c] {
+                x.set(i, true);
+                c -= self.weights[i] as usize;
+            }
+        }
+        (x, best[cap])
+    }
+
+    /// Lifts into a [`QkpInstance`] with zero pair profits (so the full
+    /// HyCiM pipeline can solve linear knapsacks too).
+    pub fn to_qkp(&self) -> QkpInstance {
+        QkpInstance::new(self.profits.clone(), self.weights.clone(), self.capacity)
+            .expect("knapsack invariants match QKP invariants")
+            .with_name("linear-knapsack")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_example() {
+        let ks = Knapsack::new(vec![60, 100, 120], vec![10, 20, 30], 50).unwrap();
+        let (x, v) = ks.solve_exact();
+        assert_eq!(v, 220);
+        assert_eq!(x, Assignment::from_bits([false, true, true]));
+        assert_eq!(ks.value(&x), 220);
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let n = rng.random_range(1..=12);
+            let profits: Vec<u64> = (0..n).map(|_| rng.random_range(1..=30)).collect();
+            let weights: Vec<u64> = (0..n).map(|_| rng.random_range(1..=15)).collect();
+            let cap = rng.random_range(1..=40);
+            let ks = Knapsack::new(profits, weights, cap).unwrap();
+            let (_, dp) = ks.solve_exact();
+            let mut best = 0;
+            for bits in 0u64..(1 << n) {
+                let x = Assignment::from_bits((0..n).map(|i| bits >> i & 1 == 1));
+                if ks.is_feasible(&x) {
+                    best = best.max(ks.value(&x));
+                }
+            }
+            assert_eq!(dp, best);
+        }
+    }
+
+    #[test]
+    fn nothing_fits() {
+        let ks = Knapsack::new(vec![5, 5], vec![10, 10], 5).unwrap();
+        let (x, v) = ks.solve_exact();
+        assert_eq!(v, 0);
+        assert_eq!(x.ones(), 0);
+    }
+
+    #[test]
+    fn qkp_lift_preserves_values() {
+        let ks = Knapsack::new(vec![3, 4, 5], vec![2, 3, 4], 6).unwrap();
+        let qkp = ks.to_qkp();
+        let x = Assignment::from_bits([true, false, true]);
+        assert_eq!(ks.value(&x), qkp.value(&x));
+        assert_eq!(ks.is_feasible(&x), qkp.is_feasible(&x));
+    }
+}

@@ -1,0 +1,53 @@
+//! Combinatorial-optimization-problem layer for the HyCiM reproduction.
+//!
+//! The paper evaluates on the **Quadratic Knapsack Problem** (QKP,
+//! Sec 3.2 Eq. 3–4) using 40 instances of 100 items from the CNAM QKP
+//! benchmark set \[28\]. This crate provides:
+//!
+//! * [`QkpInstance`] — the problem type, with conversions into the
+//!   paper's inequality-QUBO form and the baseline D-QUBO form.
+//! * [`generator`] — a seeded generator reproducing the benchmark
+//!   construction (density-controlled profits, weights in 1..=50).
+//! * [`parser`] — reader/writer for the CNAM `jeu_*.txt` text format,
+//!   so the original instances can be dropped in.
+//! * [`knapsack`] — the linear 0/1 knapsack special case with an exact
+//!   dynamic-programming solver.
+//! * [`binpack`] — bin packing (the paper's other motivating COP with
+//!   inequality constraints), formulated with one inequality per bin.
+//! * [`maxcut`] — Max-Cut (the unconstrained COP family of the
+//!   paper's Table 1), lifted through a trivial constraint.
+//! * [`coloring`], [`tsp`], [`spinglass`] — the remaining Table 1
+//!   problem classes (equality-constrained and unconstrained),
+//!   rounding out the "general COPs" coverage.
+//! * [`solvers`] — reference solvers: exhaustive (small n), greedy,
+//!   and local search, used to establish best-known values for the
+//!   success-rate criterion (paper Sec 4.3).
+//!
+//! # Example
+//!
+//! ```
+//! use hycim_cop::generator::QkpGenerator;
+//! use hycim_cop::solvers;
+//!
+//! let instance = QkpGenerator::new(20, 0.5).generate(42);
+//! let greedy = solvers::greedy(&instance);
+//! assert!(instance.is_feasible(&greedy));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binpack;
+pub mod coloring;
+mod error;
+pub mod generator;
+pub mod knapsack;
+pub mod maxcut;
+pub mod parser;
+pub mod spinglass;
+mod qkp;
+pub mod solvers;
+pub mod tsp;
+
+pub use error::CopError;
+pub use qkp::QkpInstance;

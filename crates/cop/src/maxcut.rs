@@ -1,0 +1,248 @@
+//! Max-Cut — the canonical *unconstrained* COP of the paper's Table 1
+//! lineage (\[29\] solves 60-node Max-Cut at 65% success). Included to
+//! show that the HyCiM stack degrades gracefully to constraint-free
+//! problems: the inequality filter becomes a trivially satisfied gate
+//! and the pipeline reduces to a plain CiM annealer.
+
+use hycim_qubo::{Assignment, InequalityQubo, LinearConstraint, QuboError, QuboMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::CopError;
+
+/// An undirected weighted graph for Max-Cut: maximize the total weight
+/// of edges crossing a binary partition.
+///
+/// # Example
+///
+/// ```
+/// use hycim_cop::maxcut::MaxCut;
+/// use hycim_qubo::Assignment;
+///
+/// # fn main() -> Result<(), hycim_cop::CopError> {
+/// // A triangle with unit weights: best cut value is 2.
+/// let g = MaxCut::new(3, vec![(0, 1, 1), (1, 2, 1), (0, 2, 1)])?;
+/// let x = Assignment::from_bits([true, false, false]);
+/// assert_eq!(g.cut_value(&x), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaxCut {
+    nodes: usize,
+    /// Edges as (u, v, weight), u < v, deduplicated by accumulation.
+    edges: Vec<(usize, usize, u64)>,
+}
+
+impl MaxCut {
+    /// Creates a Max-Cut instance from an edge list. Parallel edges
+    /// accumulate; self-loops are rejected.
+    ///
+    /// # Errors
+    ///
+    /// * [`CopError::EmptyInstance`] for zero nodes.
+    /// * [`CopError::SizeMismatch`] if an endpoint exceeds the node
+    ///   count (reported via the profits/weights fields).
+    pub fn new(nodes: usize, edges: Vec<(usize, usize, u64)>) -> Result<Self, CopError> {
+        if nodes == 0 {
+            return Err(CopError::EmptyInstance);
+        }
+        let mut canon: std::collections::BTreeMap<(usize, usize), u64> =
+            std::collections::BTreeMap::new();
+        for (u, v, w) in edges {
+            if u >= nodes || v >= nodes || u == v {
+                return Err(CopError::SizeMismatch {
+                    profits: u.max(v),
+                    weights: nodes,
+                });
+            }
+            let key = (u.min(v), u.max(v));
+            *canon.entry(key).or_insert(0) += w;
+        }
+        Ok(Self {
+            nodes,
+            edges: canon.into_iter().map(|((u, v), w)| (u, v, w)).collect(),
+        })
+    }
+
+    /// Generates a random graph with edge probability `p` and unit
+    /// weights, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or `p` is outside `(0, 1]`.
+    pub fn random(nodes: usize, p: f64, seed: u64) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        assert!(p > 0.0 && p <= 1.0, "edge probability must be in (0, 1]");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edges = Vec::new();
+        for u in 0..nodes {
+            for v in (u + 1)..nodes {
+                if rng.random_bool(p) {
+                    edges.push((u, v, 1));
+                }
+            }
+        }
+        Self::new(nodes, edges).expect("generated edges are valid")
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Canonical edge list (u < v).
+    pub fn edges(&self) -> &[(usize, usize, u64)] {
+        &self.edges
+    }
+
+    /// Total weight of edges crossing the partition `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_nodes()`.
+    pub fn cut_value(&self, x: &Assignment) -> u64 {
+        assert_eq!(x.len(), self.nodes, "partition length mismatch");
+        self.edges
+            .iter()
+            .filter(|&&(u, v, _)| x.get(u) != x.get(v))
+            .map(|&(_, _, w)| w)
+            .sum()
+    }
+
+    /// QUBO matrix whose minimum is the negated max cut:
+    /// `cut(x) = Σ w(xᵤ + xᵥ − 2xᵤxᵥ)`, so
+    /// `Q = Σ w(−xᵤ − xᵥ + 2xᵤxᵥ)`.
+    pub fn objective_matrix(&self) -> QuboMatrix {
+        let mut q = QuboMatrix::zeros(self.nodes);
+        for &(u, v, w) in &self.edges {
+            let w = w as f64;
+            q.add(u, u, -w);
+            q.add(v, v, -w);
+            q.add(u, v, 2.0 * w);
+        }
+        q
+    }
+
+    /// Lifts into an [`InequalityQubo`] with a trivially satisfied
+    /// constraint (all weights 1, capacity = n), so the full HyCiM
+    /// pipeline can run unconstrained problems unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QuboError`] (cannot occur for a valid graph).
+    pub fn to_inequality_qubo(&self) -> Result<InequalityQubo, QuboError> {
+        let constraint = LinearConstraint::new(vec![1; self.nodes], self.nodes as u64)?;
+        InequalityQubo::new(self.objective_matrix(), constraint)
+    }
+
+    /// Exhaustive maximum cut for small graphs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CopError::TooLarge`] above 25 nodes.
+    pub fn brute_force(&self) -> Result<(Assignment, u64), CopError> {
+        const LIMIT: usize = 25;
+        if self.nodes > LIMIT {
+            return Err(CopError::TooLarge {
+                items: self.nodes,
+                limit: LIMIT,
+            });
+        }
+        let mut best = (Assignment::zeros(self.nodes), 0);
+        for bits in 0u64..(1 << self.nodes) {
+            let x = Assignment::from_bits((0..self.nodes).map(|i| bits >> i & 1 == 1));
+            let v = self.cut_value(&x);
+            if v > best.1 {
+                best = (x, v);
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_cut() {
+        let g = MaxCut::new(3, vec![(0, 1, 1), (1, 2, 1), (0, 2, 1)]).unwrap();
+        let (x, v) = g.brute_force().unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(g.cut_value(&x), 2);
+    }
+
+    #[test]
+    fn qubo_energy_is_negated_cut() {
+        let g = MaxCut::random(10, 0.5, 1);
+        let q = g.objective_matrix();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..30 {
+            let x = Assignment::random(10, &mut rng);
+            assert_eq!(q.energy(&x), -(g.cut_value(&x) as f64));
+        }
+    }
+
+    #[test]
+    fn inequality_lift_never_gates() {
+        let g = MaxCut::random(8, 0.6, 3);
+        let iq = g.to_inequality_qubo().unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let x = Assignment::random(8, &mut rng);
+            assert!(iq.is_feasible(&x), "trivial constraint gated {x}");
+            assert_eq!(iq.energy(&x), -(g.cut_value(&x) as f64));
+        }
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let g = MaxCut::new(2, vec![(0, 1, 1), (1, 0, 2)]).unwrap();
+        assert_eq!(g.edges(), &[(0, 1, 3)]);
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        assert!(MaxCut::new(0, vec![]).is_err());
+        assert!(MaxCut::new(2, vec![(0, 5, 1)]).is_err());
+        assert!(MaxCut::new(2, vec![(1, 1, 1)]).is_err());
+    }
+
+    #[test]
+    fn random_graphs_are_seed_deterministic() {
+        assert_eq!(MaxCut::random(12, 0.4, 9), MaxCut::random(12, 0.4, 9));
+        assert_ne!(MaxCut::random(12, 0.4, 9), MaxCut::random(12, 0.4, 10));
+    }
+
+    #[test]
+    fn sa_solves_maxcut_through_the_stack() {
+        // Unconstrained problems run through the same annealer.
+        use hycim_qubo::Assignment as A;
+        let g = MaxCut::random(16, 0.5, 5);
+        let (_, opt) = g.brute_force().unwrap();
+        let iq = g.to_inequality_qubo().unwrap();
+        // Simple software SA (anneal crate is a dev-dependency of cop's
+        // dependents, so use a local Metropolis loop here).
+        let q = iq.objective().clone();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut x = A::zeros(16);
+        let mut e = 0.0;
+        let mut best = 0.0f64;
+        for iter in 0..20_000 {
+            let t = 4.0 * (1.0 - iter as f64 / 20_000.0) + 0.01;
+            let i = rng.random_range(0..16);
+            let d = q.flip_delta(&x, i);
+            if d <= 0.0 || rng.random::<f64>() < (-d / t).exp() {
+                x.flip(i);
+                e += d;
+                best = best.min(e);
+            }
+        }
+        assert!(
+            -best >= 0.95 * opt as f64,
+            "SA reached {} of optimum {opt}",
+            -best
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! Reader/writer for the CNAM QKP text format \[28\]
+//! (`http://cedric.cnam.fr/~soutif/QKP/`), so the paper's original 40
+//! benchmark instances can be used verbatim when available.
+//!
+//! Format (whitespace-flexible):
+//!
+//! ```text
+//! <reference name>
+//! <n>
+//! <n linear profit coefficients>
+//! <n-1 lines: upper-triangular quadratic coefficients (row i has n-1-i entries)>
+//! <blank line>
+//! <0>                (knapsack type marker)
+//! <capacity>
+//! <n item weights>
+//! ```
+
+use crate::{CopError, QkpInstance};
+
+/// Parses a QKP instance from CNAM text format.
+///
+/// # Errors
+///
+/// Returns [`CopError::ParseFailure`] with the offending line on any
+/// structural or numeric error, and propagates instance-validation
+/// errors from [`QkpInstance::new`].
+///
+/// # Example
+///
+/// ```
+/// use hycim_cop::parser::{parse_qkp, write_qkp};
+/// use hycim_cop::QkpInstance;
+///
+/// # fn main() -> Result<(), hycim_cop::CopError> {
+/// let mut inst = QkpInstance::new(vec![10, 6, 8], vec![4, 7, 2], 9)?;
+/// inst.set_pair_profit(0, 2, 7);
+/// let text = write_qkp(&inst.clone().with_name("demo"));
+/// let parsed = parse_qkp(&text)?;
+/// assert_eq!(parsed, inst.with_name("demo"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_qkp(text: &str) -> Result<QkpInstance, CopError> {
+    let mut lines = text.lines().enumerate();
+
+    let mut next_nonempty = |what: &str| -> Result<(usize, &str), CopError> {
+        for (idx, line) in lines.by_ref() {
+            if !line.trim().is_empty() {
+                return Ok((idx + 1, line.trim()));
+            }
+        }
+        Err(CopError::ParseFailure {
+            line: 0,
+            reason: format!("unexpected end of file, expected {what}"),
+        })
+    };
+
+    let parse_nums = |line: usize, s: &str, what: &str| -> Result<Vec<u64>, CopError> {
+        s.split_whitespace()
+            .map(|tok| {
+                tok.parse::<u64>().map_err(|_| CopError::ParseFailure {
+                    line,
+                    reason: format!("invalid {what} value {tok:?}"),
+                })
+            })
+            .collect()
+    };
+
+    let (_, name_line) = next_nonempty("reference name")?;
+    let name = name_line.to_string();
+
+    let (nline, n_str) = next_nonempty("item count")?;
+    let n: usize = n_str.parse().map_err(|_| CopError::ParseFailure {
+        line: nline,
+        reason: format!("invalid item count {n_str:?}"),
+    })?;
+    if n == 0 {
+        return Err(CopError::ParseFailure {
+            line: nline,
+            reason: "item count is zero".into(),
+        });
+    }
+
+    let (lline, lprofits) = next_nonempty("linear profits")?;
+    let item_profits = parse_nums(lline, lprofits, "linear profit")?;
+    if item_profits.len() != n {
+        return Err(CopError::ParseFailure {
+            line: lline,
+            reason: format!("expected {n} linear profits, found {}", item_profits.len()),
+        });
+    }
+
+    // n-1 upper-triangular rows; row i has n-1-i entries.
+    let mut rows: Vec<Vec<u64>> = Vec::with_capacity(n.saturating_sub(1));
+    for i in 0..n.saturating_sub(1) {
+        let (rline, row) = next_nonempty("quadratic profit row")?;
+        let vals = parse_nums(rline, row, "quadratic profit")?;
+        if vals.len() != n - 1 - i {
+            return Err(CopError::ParseFailure {
+                line: rline,
+                reason: format!(
+                    "quadratic row {i} expected {} entries, found {}",
+                    n - 1 - i,
+                    vals.len()
+                ),
+            });
+        }
+        rows.push(vals);
+    }
+
+    let (tline, type_str) = next_nonempty("knapsack type marker")?;
+    if type_str != "0" {
+        return Err(CopError::ParseFailure {
+            line: tline,
+            reason: format!("unsupported knapsack type {type_str:?} (expected 0)"),
+        });
+    }
+
+    let (cline, cap_str) = next_nonempty("capacity")?;
+    let capacity: u64 = cap_str.parse().map_err(|_| CopError::ParseFailure {
+        line: cline,
+        reason: format!("invalid capacity {cap_str:?}"),
+    })?;
+
+    let (wline, w_str) = next_nonempty("item weights")?;
+    let weights = parse_nums(wline, w_str, "weight")?;
+    if weights.len() != n {
+        return Err(CopError::ParseFailure {
+            line: wline,
+            reason: format!("expected {n} weights, found {}", weights.len()),
+        });
+    }
+
+    let mut inst = QkpInstance::new(item_profits, weights, capacity)?.with_name(name);
+    for (i, row) in rows.iter().enumerate() {
+        for (off, &p) in row.iter().enumerate() {
+            if p != 0 {
+                inst.set_pair_profit(i, i + 1 + off, p);
+            }
+        }
+    }
+    Ok(inst)
+}
+
+/// Serializes a QKP instance to CNAM text format.
+pub fn write_qkp(inst: &QkpInstance) -> String {
+    let n = inst.num_items();
+    let mut out = String::new();
+    out.push_str(if inst.name().is_empty() {
+        "unnamed"
+    } else {
+        inst.name()
+    });
+    out.push('\n');
+    out.push_str(&format!("{n}\n"));
+    let linear: Vec<String> = inst.item_profits().iter().map(u64::to_string).collect();
+    out.push_str(&linear.join(" "));
+    out.push('\n');
+    for i in 0..n.saturating_sub(1) {
+        let row: Vec<String> = ((i + 1)..n)
+            .map(|j| inst.pair_profit(i, j).to_string())
+            .collect();
+        out.push_str(&row.join(" "));
+        out.push('\n');
+    }
+    out.push('\n');
+    out.push_str("0\n");
+    out.push_str(&format!("{}\n", inst.capacity()));
+    let weights: Vec<String> = inst.weights().iter().map(u64::to_string).collect();
+    out.push_str(&weights.join(" "));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::QkpGenerator;
+
+    const SAMPLE: &str = "\
+jeu_3_100_1
+3
+10 6 8
+3 7
+2
+
+0
+9
+4 7 2
+";
+
+    #[test]
+    fn parses_sample() {
+        let inst = parse_qkp(SAMPLE).unwrap();
+        assert_eq!(inst.name(), "jeu_3_100_1");
+        assert_eq!(inst.num_items(), 3);
+        assert_eq!(inst.capacity(), 9);
+        assert_eq!(inst.item_profits(), &[10, 6, 8]);
+        assert_eq!(inst.weights(), &[4, 7, 2]);
+        assert_eq!(inst.pair_profit(0, 1), 3);
+        assert_eq!(inst.pair_profit(0, 2), 7);
+        assert_eq!(inst.pair_profit(1, 2), 2);
+    }
+
+    #[test]
+    fn roundtrip_generated_instances() {
+        for seed in 0..5 {
+            let inst = QkpGenerator::new(25, 0.5).generate(seed);
+            let text = write_qkp(&inst);
+            let parsed = parse_qkp(&text).unwrap();
+            assert_eq!(parsed, inst);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_linear_count() {
+        let bad = SAMPLE.replace("10 6 8", "10 6");
+        let err = parse_qkp(&bad).unwrap_err();
+        assert!(matches!(err, CopError::ParseFailure { line: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_wrong_type_marker() {
+        let bad = SAMPLE.replace("\n0\n9", "\n1\n9");
+        assert!(matches!(
+            parse_qkp(&bad),
+            Err(CopError::ParseFailure { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let truncated = "name\n3\n1 2 3\n";
+        assert!(matches!(
+            parse_qkp(truncated),
+            Err(CopError::ParseFailure { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_numeric() {
+        let bad = SAMPLE.replace('9', "x");
+        assert!(matches!(
+            parse_qkp(&bad),
+            Err(CopError::ParseFailure { .. })
+        ));
+    }
+}

@@ -1,0 +1,224 @@
+//! Sherrington–Kirkpatrick spin glasses — the Table 1 \[30\] problem
+//! family (15-node spin glass annealed on an RRAM crossbar) and the
+//! classic "no self-interaction" benchmark the paper contrasts
+//! dynamical-system Ising machines against (Sec 2.1).
+
+use hycim_qubo::IsingModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::CopError;
+
+/// A Sherrington–Kirkpatrick instance: all-to-all couplings
+/// `J_ij ∈ {−1, +1}` (or Gaussian), zero fields.
+///
+/// # Example
+///
+/// ```
+/// use hycim_cop::spinglass::SpinGlass;
+///
+/// # fn main() -> Result<(), hycim_cop::CopError> {
+/// let sg = SpinGlass::random_binary(15, 3)?;
+/// let ising = sg.to_ising();
+/// assert_eq!(ising.dim(), 15);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpinGlass {
+    n: usize,
+    /// Couplings for i < j, row-major.
+    couplings: Vec<f64>,
+}
+
+impl SpinGlass {
+    /// Random ±1 couplings (the canonical SK ensemble), seeded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CopError::EmptyInstance`] for fewer than 2 spins.
+    pub fn random_binary(n: usize, seed: u64) -> Result<Self, CopError> {
+        if n < 2 {
+            return Err(CopError::EmptyInstance);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let couplings = (0..n * (n - 1) / 2)
+            .map(|_| if rng.random_bool(0.5) { 1.0 } else { -1.0 })
+            .collect();
+        Ok(Self { n, couplings })
+    }
+
+    /// Random Gaussian couplings with variance `1/n` (the normalized
+    /// SK model), seeded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CopError::EmptyInstance`] for fewer than 2 spins.
+    pub fn random_gaussian(n: usize, seed: u64) -> Result<Self, CopError> {
+        if n < 2 {
+            return Err(CopError::EmptyInstance);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sigma = 1.0 / (n as f64).sqrt();
+        let couplings = (0..n * (n - 1) / 2)
+            .map(|_| {
+                // Box–Muller.
+                let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.random();
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos() * sigma
+            })
+            .collect();
+        Ok(Self { n, couplings })
+    }
+
+    /// Number of spins.
+    pub fn num_spins(&self) -> usize {
+        self.n
+    }
+
+    /// Coupling `J_ij` (order-insensitive, zero on the diagonal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn coupling(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "spin index out of bounds");
+        if i == j {
+            return 0.0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.couplings[a * self.n - a * (a + 1) / 2 + (b - a - 1)]
+    }
+
+    /// Ising Hamiltonian `H = Σ_{i<j} J_ij σᵢσⱼ` (no fields — the
+    /// "no self-interaction" structure dynamical-system machines need).
+    pub fn to_ising(&self) -> IsingModel {
+        let mut ising = IsingModel::zeros(self.n);
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let jij = self.coupling(i, j);
+                if jij != 0.0 {
+                    ising.set_coupling(i, j, jij);
+                }
+            }
+        }
+        ising
+    }
+
+    /// Exhaustive ground-state energy for small systems.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CopError::TooLarge`] above 22 spins.
+    pub fn ground_state(&self) -> Result<(Vec<i8>, f64), CopError> {
+        const LIMIT: usize = 22;
+        if self.n > LIMIT {
+            return Err(CopError::TooLarge {
+                items: self.n,
+                limit: LIMIT,
+            });
+        }
+        let ising = self.to_ising();
+        let mut best_spins = vec![1i8; self.n];
+        let mut best_e = ising.energy(&best_spins);
+        // Spin-flip symmetry: fix spin 0 = +1.
+        for bits in 0u64..(1 << (self.n - 1)) {
+            let spins: Vec<i8> = std::iter::once(1i8)
+                .chain((0..self.n - 1).map(|i| if bits >> i & 1 == 1 { -1 } else { 1 }))
+                .collect();
+            let e = ising.energy(&spins);
+            if e < best_e {
+                best_e = e;
+                best_spins = spins;
+            }
+        }
+        Ok((best_spins, best_e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hycim_qubo::Assignment;
+
+    #[test]
+    fn construction_and_symmetry() {
+        let sg = SpinGlass::random_binary(10, 1).unwrap();
+        assert_eq!(sg.num_spins(), 10);
+        for i in 0..10 {
+            for j in 0..10 {
+                assert_eq!(sg.coupling(i, j), sg.coupling(j, i));
+            }
+        }
+        assert_eq!(sg.coupling(3, 3), 0.0);
+    }
+
+    #[test]
+    fn binary_couplings_are_pm_one() {
+        let sg = SpinGlass::random_binary(12, 2).unwrap();
+        for i in 0..12 {
+            for j in (i + 1)..12 {
+                assert!(sg.coupling(i, j).abs() == 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ground_state_respects_symmetry() {
+        let sg = SpinGlass::random_binary(10, 3).unwrap();
+        let ising = sg.to_ising();
+        let (spins, e) = sg.ground_state().unwrap();
+        assert_eq!(ising.energy(&spins), e);
+        // The flipped configuration has the same energy (Z₂ symmetry).
+        let flipped: Vec<i8> = spins.iter().map(|s| -s).collect();
+        assert!((ising.energy(&flipped) - e).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sa_reaches_ground_state_through_qubo_form() {
+        // Table 1 [30] scale: 15 spins.
+        let sg = SpinGlass::random_binary(15, 4).unwrap();
+        let (_, ground) = sg.ground_state().unwrap();
+        let ising = sg.to_ising();
+        let (q, offset) = ising.to_qubo().unwrap();
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut best = f64::INFINITY;
+        for _restart in 0..4 {
+            let mut x = Assignment::random(15, &mut rng);
+            let mut e = q.energy(&x);
+            for iter in 0..30_000 {
+                let t = 2.0 * (1.0 - iter as f64 / 30_000.0) + 0.01;
+                let i = rng.random_range(0..15);
+                let d = q.flip_delta(&x, i);
+                if d <= 0.0 || rng.random::<f64>() < (-d / t).exp() {
+                    x.flip(i);
+                    e += d;
+                    best = best.min(e + offset);
+                }
+            }
+        }
+        assert!(
+            (best - ground).abs() < 1e-9,
+            "SA best {best} vs ground {ground}"
+        );
+    }
+
+    #[test]
+    fn gaussian_variance_scales() {
+        let sg = SpinGlass::random_gaussian(100, 6).unwrap();
+        let vals: Vec<f64> = (0..100)
+            .flat_map(|i| ((i + 1)..100).map(move |j| (i, j)))
+            .map(|(i, j)| sg.coupling(i, j))
+            .collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+        // Variance ≈ 1/n = 0.01.
+        assert!((var - 0.01).abs() < 0.003, "variance {var}");
+    }
+
+    #[test]
+    fn too_small_rejected() {
+        assert!(SpinGlass::random_binary(1, 0).is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! Traveling Salesman — the Table 1 \[31\] problem family (100-node
+//! TSP on an RRAM in-memory annealing unit, 31% success). TSP's
+//! permutation structure maps to QUBO with *equality* constraints
+//! (one city per step, one step per city), here encoded as penalties;
+//! the tour length is the objective.
+
+use hycim_qubo::{Assignment, QuboMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::CopError;
+
+/// A symmetric TSP instance on a distance matrix.
+///
+/// Variables: `x_{c,t}` = "city c visited at step t", index
+/// `c·n + t`; tours are cyclic.
+///
+/// # Example
+///
+/// ```
+/// use hycim_cop::tsp::Tsp;
+///
+/// # fn main() -> Result<(), hycim_cop::CopError> {
+/// let tsp = Tsp::random_euclidean(6, 100.0, 1)?;
+/// let tour: Vec<usize> = (0..6).collect();
+/// assert!(tsp.tour_length(&tour)? > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tsp {
+    n: usize,
+    /// Row-major symmetric distance matrix.
+    dist: Vec<f64>,
+}
+
+impl Tsp {
+    /// Creates an instance from a full symmetric distance matrix
+    /// (row-major, `n × n`).
+    ///
+    /// # Errors
+    ///
+    /// * [`CopError::EmptyInstance`] for fewer than 3 cities.
+    /// * [`CopError::SizeMismatch`] if the matrix is not `n × n`.
+    pub fn new(n: usize, dist: Vec<f64>) -> Result<Self, CopError> {
+        if n < 3 {
+            return Err(CopError::EmptyInstance);
+        }
+        if dist.len() != n * n {
+            return Err(CopError::SizeMismatch {
+                profits: dist.len(),
+                weights: n * n,
+            });
+        }
+        Ok(Self { n, dist })
+    }
+
+    /// Random points in a `side × side` square with Euclidean
+    /// distances, seeded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CopError::EmptyInstance`] for fewer than 3 cities.
+    pub fn random_euclidean(n: usize, side: f64, seed: u64) -> Result<Self, CopError> {
+        if n < 3 {
+            return Err(CopError::EmptyInstance);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.random::<f64>() * side, rng.random::<f64>() * side))
+            .collect();
+        let mut dist = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let dx = pts[i].0 - pts[j].0;
+                let dy = pts[i].1 - pts[j].1;
+                dist[i * n + j] = (dx * dx + dy * dy).sqrt();
+            }
+        }
+        Ok(Self { n, dist })
+    }
+
+    /// Number of cities.
+    pub fn num_cities(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between two cities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn distance(&self, a: usize, b: usize) -> f64 {
+        assert!(a < self.n && b < self.n, "city index out of range");
+        self.dist[a * self.n + b]
+    }
+
+    /// Number of QUBO variables: `n²`.
+    pub fn dim(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// Index of variable `x_{city,step}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn var(&self, city: usize, step: usize) -> usize {
+        assert!(city < self.n && step < self.n, "index out of range");
+        city * self.n + step
+    }
+
+    /// Length of a cyclic tour given as a city permutation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CopError::SizeMismatch`] if `tour` is not a
+    /// permutation of all cities.
+    pub fn tour_length(&self, tour: &[usize]) -> Result<f64, CopError> {
+        if tour.len() != self.n {
+            return Err(CopError::SizeMismatch {
+                profits: tour.len(),
+                weights: self.n,
+            });
+        }
+        let mut seen = vec![false; self.n];
+        for &c in tour {
+            if c >= self.n || seen[c] {
+                return Err(CopError::SizeMismatch {
+                    profits: c,
+                    weights: self.n,
+                });
+            }
+            seen[c] = true;
+        }
+        Ok((0..self.n)
+            .map(|t| self.distance(tour[t], tour[(t + 1) % self.n]))
+            .sum())
+    }
+
+    /// QUBO encoding: distance objective + `penalty` × (one-city-per-
+    /// step and one-step-per-city equality penalties).
+    pub fn objective_matrix(&self, penalty: f64) -> QuboMatrix {
+        let n = self.n;
+        let mut q = QuboMatrix::zeros(self.dim());
+        // Objective: Σ_t Σ_{a≠b} d(a,b) x_{a,t} x_{b,t+1}.
+        for t in 0..n {
+            let t_next = (t + 1) % n;
+            for a in 0..n {
+                for b in 0..n {
+                    if a != b {
+                        q.add(
+                            self.var(a, t),
+                            self.var(b, t_next),
+                            self.distance(a, b),
+                        );
+                    }
+                }
+            }
+        }
+        // Equality penalties: each city exactly once, each step exactly
+        // one city. (1 − Σx)² expansions, constants dropped.
+        for c in 0..n {
+            for t in 0..n {
+                let idx = self.var(c, t);
+                q.add(idx, idx, -2.0 * penalty);
+                for t2 in (t + 1)..n {
+                    q.add(idx, self.var(c, t2), 2.0 * penalty);
+                }
+                for c2 in (c + 1)..n {
+                    q.add(idx, self.var(c2, t), 2.0 * penalty);
+                }
+            }
+        }
+        q
+    }
+
+    /// Decodes an assignment to a tour if it encodes a valid
+    /// permutation.
+    pub fn decode(&self, x: &Assignment) -> Option<Vec<usize>> {
+        let n = self.n;
+        let mut tour = vec![usize::MAX; n];
+        for t in 0..n {
+            let mut found = None;
+            for c in 0..n {
+                if x.get(self.var(c, t)) {
+                    if found.is_some() {
+                        return None;
+                    }
+                    found = Some(c);
+                }
+            }
+            tour[t] = found?;
+        }
+        let mut seen = vec![false; n];
+        for &c in &tour {
+            if seen[c] {
+                return None;
+            }
+            seen[c] = true;
+        }
+        Some(tour)
+    }
+
+    /// Encodes a tour into an assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tour` is not a valid permutation.
+    pub fn encode(&self, tour: &[usize]) -> Assignment {
+        assert_eq!(tour.len(), self.n, "tour length mismatch");
+        let mut x = Assignment::zeros(self.dim());
+        for (t, &c) in tour.iter().enumerate() {
+            x.set(self.var(c, t), true);
+        }
+        x
+    }
+
+    /// Nearest-neighbor heuristic tour from city 0.
+    pub fn nearest_neighbor(&self) -> Vec<usize> {
+        let mut tour = vec![0usize];
+        let mut visited = vec![false; self.n];
+        visited[0] = true;
+        while tour.len() < self.n {
+            let last = *tour.last().expect("nonempty");
+            let next = (0..self.n)
+                .filter(|&c| !visited[c])
+                .min_by(|&a, &b| {
+                    self.distance(last, a)
+                        .partial_cmp(&self.distance(last, b))
+                        .expect("finite distances")
+                })
+                .expect("unvisited city exists");
+            visited[next] = true;
+            tour.push(next);
+        }
+        tour
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Tsp::new(2, vec![0.0; 4]).is_err());
+        assert!(Tsp::new(3, vec![0.0; 8]).is_err());
+        assert!(Tsp::random_euclidean(2, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn tour_length_and_encoding_roundtrip() {
+        let tsp = Tsp::random_euclidean(7, 10.0, 1).unwrap();
+        let tour = tsp.nearest_neighbor();
+        let len = tsp.tour_length(&tour).unwrap();
+        assert!(len > 0.0);
+        let x = tsp.encode(&tour);
+        assert_eq!(tsp.decode(&x), Some(tour));
+    }
+
+    #[test]
+    fn invalid_tours_rejected() {
+        let tsp = Tsp::random_euclidean(5, 10.0, 2).unwrap();
+        assert!(tsp.tour_length(&[0, 1, 2]).is_err());
+        assert!(tsp.tour_length(&[0, 0, 1, 2, 3]).is_err());
+        assert!(tsp.tour_length(&[0, 1, 2, 3, 9]).is_err());
+    }
+
+    #[test]
+    fn qubo_energy_orders_tours_identically() {
+        // With valid permutations, QUBO energy differences equal tour
+        // length differences (penalty terms contribute equally).
+        let tsp = Tsp::random_euclidean(6, 10.0, 3).unwrap();
+        let q = tsp.objective_matrix(100.0);
+        let t1 = tsp.nearest_neighbor();
+        let t2: Vec<usize> = (0..6).collect();
+        let e1 = q.energy(&tsp.encode(&t1));
+        let e2 = q.energy(&tsp.encode(&t2));
+        let l1 = tsp.tour_length(&t1).unwrap();
+        let l2 = tsp.tour_length(&t2).unwrap();
+        assert!(
+            ((e1 - e2) - (l1 - l2)).abs() < 1e-9,
+            "energy gap {} vs length gap {}",
+            e1 - e2,
+            l1 - l2
+        );
+    }
+
+    #[test]
+    fn penalty_guards_against_non_tours() {
+        let tsp = Tsp::random_euclidean(4, 10.0, 4).unwrap();
+        // Penalty above the max possible tour-length gain.
+        let q = tsp.objective_matrix(1000.0);
+        let valid = tsp.encode(&tsp.nearest_neighbor());
+        let e_valid = q.energy(&valid);
+        // Dropping one city's visit must cost more than any tour.
+        let mut broken = valid.clone();
+        let dropped = broken.support()[0];
+        broken.set(dropped, false);
+        assert!(q.energy(&broken) > e_valid);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        let tsp = Tsp::random_euclidean(4, 10.0, 5).unwrap();
+        assert!(tsp.decode(&Assignment::zeros(16)).is_none());
+        assert!(tsp.decode(&Assignment::ones_vec(16)).is_none());
+    }
+
+    #[test]
+    fn nearest_neighbor_beats_random_on_average() {
+        let tsp = Tsp::random_euclidean(20, 100.0, 6).unwrap();
+        let nn = tsp.tour_length(&tsp.nearest_neighbor()).unwrap();
+        let identity: Vec<usize> = (0..20).collect();
+        let id_len = tsp.tour_length(&identity).unwrap();
+        assert!(nn <= id_len, "NN {nn} worse than identity {id_len}");
+    }
+}

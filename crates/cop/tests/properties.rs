@@ -1,0 +1,119 @@
+//! Property-based tests of the COP layer.
+
+use hycim_cop::generator::QkpGenerator;
+use hycim_cop::knapsack::Knapsack;
+use hycim_cop::{parser, solvers, QkpInstance};
+use hycim_qubo::Assignment;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_small_instance() -> impl Strategy<Value = QkpInstance> {
+    (2usize..12).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0u64..=100, n),
+            proptest::collection::vec(1u64..=50, n),
+            1u64..=300,
+            proptest::collection::vec(0u64..=100, n * (n - 1) / 2),
+        )
+            .prop_map(move |(profits, weights, cap_raw, pairs)| {
+                let max_w = *weights.iter().max().expect("n >= 2");
+                let capacity = cap_raw.max(max_w);
+                let mut inst =
+                    QkpInstance::new(profits, weights, capacity).expect("valid");
+                let mut it = pairs.into_iter();
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        inst.set_pair_profit(i, j, it.next().expect("sized"));
+                    }
+                }
+                inst
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// CNAM text round-trip is lossless for arbitrary instances.
+    #[test]
+    fn parser_roundtrip(inst in arb_small_instance()) {
+        let text = parser::write_qkp(&inst);
+        let parsed = parser::parse_qkp(&text).expect("own output parses");
+        // Names differ (unnamed → "unnamed"); compare content.
+        prop_assert_eq!(parsed.item_profits(), inst.item_profits());
+        prop_assert_eq!(parsed.weights(), inst.weights());
+        prop_assert_eq!(parsed.capacity(), inst.capacity());
+        for i in 0..inst.num_items() {
+            for j in (i + 1)..inst.num_items() {
+                prop_assert_eq!(parsed.pair_profit(i, j), inst.pair_profit(i, j));
+            }
+        }
+    }
+
+    /// Greedy always yields a feasible selection whose value the
+    /// exhaustive optimum dominates.
+    #[test]
+    fn greedy_bounded_by_optimum(inst in arb_small_instance()) {
+        let g = solvers::greedy(&inst);
+        prop_assert!(inst.is_feasible(&g));
+        let (_, opt) = solvers::exhaustive(&inst).expect("small");
+        prop_assert!(inst.value(&g) <= opt);
+    }
+
+    /// Local search never worsens and never leaves the feasible set.
+    #[test]
+    fn local_search_improves(inst in arb_small_instance(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let start = solvers::random_feasible(&inst, &mut rng);
+        let improved = solvers::local_search(&inst, &start);
+        prop_assert!(inst.is_feasible(&improved));
+        prop_assert!(inst.value(&improved) >= inst.value(&start));
+    }
+
+    /// The QKP value function is supermodular-consistent with its
+    /// parts: value(x) ≥ Σ item profits of the selection.
+    #[test]
+    fn value_at_least_linear_part(inst in arb_small_instance(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Assignment::random(inst.num_items(), &mut rng);
+        let linear: u64 = inst.item_profits().iter().zip(x.iter())
+            .filter(|(_, b)| *b).map(|(p, _)| *p).sum();
+        prop_assert!(inst.value(&x) >= linear);
+    }
+
+    /// Linear-knapsack DP equals exhaustive search.
+    #[test]
+    fn knapsack_dp_is_exact(
+        profits in proptest::collection::vec(1u64..=40, 1..12),
+        weights_raw in proptest::collection::vec(1u64..=20, 12),
+        cap in 1u64..=60,
+    ) {
+        let n = profits.len();
+        let weights = weights_raw[..n].to_vec();
+        let ks = Knapsack::new(profits, weights, cap).expect("valid");
+        let (dp_x, dp_v) = ks.solve_exact();
+        prop_assert!(ks.is_feasible(&dp_x));
+        prop_assert_eq!(ks.value(&dp_x), dp_v);
+        let mut best = 0;
+        for bits in 0u64..(1 << n) {
+            let x = Assignment::from_bits((0..n).map(|i| bits >> i & 1 == 1));
+            if ks.is_feasible(&x) {
+                best = best.max(ks.value(&x));
+            }
+        }
+        prop_assert_eq!(dp_v, best);
+    }
+
+    /// Generated instances always satisfy the documented invariants.
+    #[test]
+    fn generator_invariants(n in 2usize..60, d_pick in 0usize..4, seed in any::<u64>()) {
+        let density = [0.25, 0.5, 0.75, 1.0][d_pick];
+        let inst = QkpGenerator::new(n, density).generate(seed);
+        prop_assert_eq!(inst.num_items(), n);
+        prop_assert!(inst.weights().iter().all(|&w| (1..=50).contains(&w)));
+        prop_assert!(inst.max_profit_coefficient() <= 100);
+        prop_assert!(inst.capacity() >= *inst.weights().iter().max().expect("n > 0"));
+        prop_assert!(inst.capacity() < inst.weights().iter().sum::<u64>());
+    }
+}

@@ -1,0 +1,455 @@
+//! Hardware-backed [`AnnealState`] implementations: the glue between
+//! the SA logic and the CiM circuit models (paper Fig. 3 / Fig. 6(b)).
+//!
+//! Per DESIGN.md §2, the SA hot loop does not re-simulate every cell
+//! per iteration; it uses the crossbar's *stored* (quantized) matrix
+//! for incremental deltas plus statistically matched readout noise,
+//! and the inequality filter's fast path (which still includes
+//! matchline noise, comparator offset and decision noise). The
+//! device-accurate paths of `hycim-cim` validate this equivalence in
+//! tests and generate the paper's validation figures.
+
+use hycim_anneal::{AnnealState, FlipOutcome};
+use hycim_cim::crossbar::{Crossbar, CrossbarConfig};
+use hycim_cim::filter::{FilterConfig, InequalityFilter};
+use hycim_cim::CimError;
+use hycim_qubo::dqubo::DquboForm;
+use hycim_qubo::quant::QuantizedMatrix;
+use hycim_qubo::{Assignment, InequalityQubo, QuboMatrix};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The HyCiM pipeline state: inequality filter + CiM crossbar + SA
+/// bookkeeping.
+#[derive(Debug, Clone)]
+pub struct HyCimHardwareState {
+    /// The matrix the crossbar actually stores (quantized).
+    matrix: QuboMatrix,
+    filter: InequalityFilter,
+    weights: Vec<u64>,
+    x: Assignment,
+    load: u64,
+    /// Energy as reported by the hardware (accumulated noisy deltas) —
+    /// what the SA logic sees.
+    energy: f64,
+    /// Per-readout energy noise sigma.
+    readout_sigma: f64,
+}
+
+impl HyCimHardwareState {
+    /// Builds the hardware state for an inequality-QUBO problem:
+    /// programs the filter with the constraint and the crossbar with
+    /// the objective, then initializes at `initial` (must be feasible).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CimError`] from filter or crossbar construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` violates the constraint.
+    pub fn build(
+        problem: &InequalityQubo,
+        filter_config: &FilterConfig,
+        crossbar_config: &CrossbarConfig,
+        initial: Assignment,
+        rng: &mut StdRng,
+    ) -> Result<Self, CimError> {
+        assert!(
+            problem.is_feasible(&initial),
+            "initial configuration must be feasible"
+        );
+        let constraint = problem.constraint();
+        let filter = InequalityFilter::build(
+            constraint.weights(),
+            constraint.capacity(),
+            filter_config,
+            rng,
+        )?;
+        let crossbar = Crossbar::program(problem.objective(), crossbar_config, rng)?;
+        let matrix = crossbar.stored_matrix().clone();
+        // Typical readout activates about half the programmed cells.
+        let typical_active = crossbar.mapping().programmed_cells() / 2;
+        let readout_sigma = crossbar.readout_sigma(typical_active);
+        let load = constraint.load(&initial);
+        let energy = matrix.energy(&initial);
+        Ok(Self {
+            matrix,
+            filter,
+            weights: constraint.weights().to_vec(),
+            x: initial,
+            load,
+            energy,
+            readout_sigma,
+        })
+    }
+
+    /// Current constraint load.
+    pub fn load(&self) -> u64 {
+        self.load
+    }
+
+    /// The filter instance in use.
+    pub fn filter(&self) -> &InequalityFilter {
+        &self.filter
+    }
+
+    /// The stored (quantized) objective matrix.
+    pub fn stored_matrix(&self) -> &QuboMatrix {
+        &self.matrix
+    }
+
+    /// Per-readout energy noise sigma.
+    pub fn readout_sigma(&self) -> f64 {
+        self.readout_sigma
+    }
+
+    fn new_load(&self, i: usize) -> u64 {
+        if self.x.get(i) {
+            self.load - self.weights[i]
+        } else {
+            self.load + self.weights[i]
+        }
+    }
+}
+
+impl AnnealState for HyCimHardwareState {
+    fn dim(&self) -> usize {
+        self.matrix.dim()
+    }
+
+    fn assignment(&self) -> &Assignment {
+        &self.x
+    }
+
+    fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    fn probe_flip(&mut self, i: usize, rng: &mut StdRng) -> FlipOutcome {
+        let new_load = self.new_load(i);
+        // The inequality filter evaluates the proposed configuration
+        // (fast path: analog matchline + comparator noise included).
+        let decision = self.filter.classify_load(new_load, rng);
+        if !decision.is_feasible() {
+            return FlipOutcome::Infeasible;
+        }
+        // Feasible: the crossbar computes the QUBO energy; modeled as
+        // the stored matrix's exact delta plus readout noise.
+        let delta = self.matrix.flip_delta(&self.x, i) + gaussian(rng) * self.readout_sigma;
+        FlipOutcome::Feasible { delta }
+    }
+
+    fn commit_flip(&mut self, i: usize, delta: f64) {
+        if self.x.flip(i) {
+            self.load += self.weights[i];
+        } else {
+            self.load -= self.weights[i];
+        }
+        self.energy += delta;
+    }
+
+    fn probe_pair(&mut self, i: usize, j: usize, rng: &mut StdRng) -> FlipOutcome {
+        assert_ne!(i, j, "pair flip needs two distinct bits");
+        let signed = |on: bool, w: u64| if on { -(w as i64) } else { w as i64 };
+        let new_load = self.load as i64
+            + signed(self.x.get(i), self.weights[i])
+            + signed(self.x.get(j), self.weights[j]);
+        let decision = self.filter.classify_load(new_load.max(0) as u64, rng);
+        if !decision.is_feasible() {
+            return FlipOutcome::Infeasible;
+        }
+        let di = if self.x.get(i) { -1.0 } else { 1.0 };
+        let dj = if self.x.get(j) { -1.0 } else { 1.0 };
+        let delta = self.matrix.flip_delta(&self.x, i)
+            + self.matrix.flip_delta(&self.x, j)
+            + self.matrix.get(i, j) * di * dj
+            + gaussian(rng) * self.readout_sigma;
+        FlipOutcome::Feasible { delta }
+    }
+
+    fn commit_pair(&mut self, i: usize, j: usize, delta: f64) {
+        for bit in [i, j] {
+            if self.x.flip(bit) {
+                self.load += self.weights[bit];
+            } else {
+                self.load -= self.weights[bit];
+            }
+        }
+        self.energy += delta;
+    }
+
+    fn verify_best(&mut self, rng: &mut StdRng) -> bool {
+        // Paper Fig. 6(b): before the accepted configuration replaces
+        // the reserved best x_o it passes the inequality evaluation
+        // again. Two extra filter reads make a rare noisy
+        // false-feasible admission vanishingly unlikely to persist.
+        (0..2).all(|_| self.filter.classify_load(self.load, rng).is_feasible())
+    }
+}
+
+/// The D-QUBO baseline state: the penalty-form matrix on a (much
+/// larger) crossbar, no filter — every move is admissible and pays a
+/// full crossbar evaluation (paper Sec 2.1, Fig. 10).
+///
+/// The expanded matrix is quantized at
+/// `⌈log₂(Q_ij)MAX⌉` bits (or an explicit override for ablations) but
+/// not materialized as a cell array: at n ≈ 2600 and 25 bits that
+/// would be hundreds of millions of cells (the very overhead Fig. 9(c)
+/// charges against D-QUBO).
+#[derive(Debug, Clone)]
+pub struct DquboHardwareState {
+    matrix: QuboMatrix,
+    offset: f64,
+    x: Assignment,
+    energy: f64,
+    readout_sigma: f64,
+    num_items: usize,
+}
+
+impl DquboHardwareState {
+    /// Builds the baseline state from a D-QUBO form. `bits` overrides
+    /// the quantization width (`None` → `⌈log₂(Q_ij)MAX⌉`, the paper's
+    /// setting, which is lossless for integer penalties).
+    pub fn build(
+        form: &DquboForm,
+        bits: Option<u32>,
+        current_sigma_rel: f64,
+        initial: Assignment,
+    ) -> Self {
+        assert_eq!(initial.len(), form.dim(), "configuration length mismatch");
+        let bits = bits.unwrap_or_else(|| hycim_qubo::quant::matrix_bits(form.matrix()));
+        let quant = QuantizedMatrix::quantize(form.matrix(), bits);
+        let matrix = quant.dequantize();
+        // Same readout model as the HyCiM crossbar: σ grows with the
+        // active cell count, which for the D-QUBO matrix is large.
+        let typical_active = matrix.nonzeros() * bits as usize / 2;
+        let readout_sigma = current_sigma_rel * (typical_active as f64).sqrt() * quant.scale();
+        let energy = matrix.energy(&initial) + form.offset();
+        Self {
+            matrix,
+            offset: form.offset(),
+            x: initial,
+            energy,
+            readout_sigma,
+            num_items: form.num_items(),
+        }
+    }
+
+    /// Item part of the current configuration.
+    pub fn item_assignment(&self) -> Assignment {
+        self.x.truncated(self.num_items)
+    }
+
+    /// Per-readout energy noise sigma.
+    pub fn readout_sigma(&self) -> f64 {
+        self.readout_sigma
+    }
+
+    /// The stored (quantized) penalty matrix.
+    pub fn stored_matrix(&self) -> &QuboMatrix {
+        &self.matrix
+    }
+
+    /// Constant offset of the penalty expansion.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+}
+
+impl AnnealState for DquboHardwareState {
+    fn dim(&self) -> usize {
+        self.matrix.dim()
+    }
+
+    fn assignment(&self) -> &Assignment {
+        &self.x
+    }
+
+    fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    fn probe_flip(&mut self, i: usize, rng: &mut StdRng) -> FlipOutcome {
+        FlipOutcome::Feasible {
+            delta: self.matrix.flip_delta(&self.x, i) + gaussian(rng) * self.readout_sigma,
+        }
+    }
+
+    fn commit_flip(&mut self, i: usize, delta: f64) {
+        self.x.flip(i);
+        self.energy += delta;
+    }
+
+    fn probe_pair(&mut self, i: usize, j: usize, rng: &mut StdRng) -> FlipOutcome {
+        assert_ne!(i, j, "pair flip needs two distinct bits");
+        let di = if self.x.get(i) { -1.0 } else { 1.0 };
+        let dj = if self.x.get(j) { -1.0 } else { 1.0 };
+        let delta = self.matrix.flip_delta(&self.x, i)
+            + self.matrix.flip_delta(&self.x, j)
+            + self.matrix.get(i, j) * di * dj
+            + gaussian(rng) * self.readout_sigma;
+        FlipOutcome::Feasible { delta }
+    }
+
+    fn commit_pair(&mut self, i: usize, j: usize, delta: f64) {
+        self.x.flip(i);
+        self.x.flip(j);
+        self.energy += delta;
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            let u2: f64 = rng.random::<f64>();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hycim_cop::generator::QkpGenerator;
+    use hycim_fefet::VariationModel;
+    use hycim_qubo::dqubo::{AuxEncoding, PenaltyWeights};
+    use rand::SeedableRng;
+
+    fn noiseless_filter_config() -> FilterConfig {
+        FilterConfig::default()
+            .with_variation(VariationModel::none())
+            .with_comparator(hycim_cim::filter::ComparatorConfig::ideal())
+    }
+
+    #[test]
+    fn hycim_state_matches_software_when_noise_free() {
+        let inst = QkpGenerator::new(25, 0.5).generate(1);
+        let iq = inst.to_inequality_qubo().unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cb_cfg = CrossbarConfig::paper().with_variation(VariationModel::none());
+        let mut hw = HyCimHardwareState::build(
+            &iq,
+            &noiseless_filter_config(),
+            &cb_cfg,
+            Assignment::zeros(25),
+            &mut rng,
+        )
+        .unwrap();
+        // Random walk: energies must track the exact objective (7-bit
+        // quantization of ≤100 profits is lossless).
+        for step in 0..300 {
+            let i = step % 25;
+            match hw.probe_flip(i, &mut rng) {
+                FlipOutcome::Feasible { delta } => {
+                    hw.commit_flip(i, delta);
+                    let expected = iq.objective_energy(hw.assignment());
+                    assert!(
+                        (hw.energy() - expected).abs() < 1e-6,
+                        "hardware energy diverged at step {step}"
+                    );
+                    assert!(iq.is_feasible(hw.assignment()));
+                }
+                FlipOutcome::Infeasible => {
+                    // Verify the veto was correct.
+                    let mut probe = hw.assignment().clone();
+                    probe.flip(i);
+                    assert!(!iq.is_feasible(&probe), "ideal filter vetoed a feasible flip");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hycim_state_rejects_infeasible_start() {
+        let inst = QkpGenerator::new(10, 0.5).generate(3);
+        let iq = inst.to_inequality_qubo().unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let heavy = Assignment::ones_vec(10);
+        if !iq.is_feasible(&heavy) {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                HyCimHardwareState::build(
+                    &iq,
+                    &noiseless_filter_config(),
+                    &CrossbarConfig::paper(),
+                    heavy,
+                    &mut rng,
+                )
+            }));
+            assert!(result.is_err());
+        }
+    }
+
+    #[test]
+    fn noisy_probes_have_spread() {
+        let inst = QkpGenerator::new(30, 1.0).generate(5);
+        let iq = inst.to_inequality_qubo().unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut hw = HyCimHardwareState::build(
+            &iq,
+            &FilterConfig::default(),
+            &CrossbarConfig::paper(),
+            Assignment::zeros(30),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(hw.readout_sigma() > 0.0);
+        let deltas: Vec<f64> = (0..50)
+            .filter_map(|_| match hw.probe_flip(0, &mut rng) {
+                FlipOutcome::Feasible { delta } => Some(delta),
+                FlipOutcome::Infeasible => None,
+            })
+            .collect();
+        assert!(deltas.len() > 10);
+        assert!(deltas.iter().any(|&d| (d - deltas[0]).abs() > 1e-12));
+    }
+
+    #[test]
+    fn dqubo_state_energy_tracks_form() {
+        let inst = QkpGenerator::new(8, 0.75)
+            .with_capacity_range(10, 30)
+            .generate(7);
+        let form = inst
+            .to_dqubo(PenaltyWeights::PAPER, AuxEncoding::OneHot)
+            .unwrap();
+        let mut state =
+            DquboHardwareState::build(&form, None, 0.0, Assignment::zeros(form.dim()));
+        let mut rng = StdRng::seed_from_u64(8);
+        for step in 0..200 {
+            let i = step % form.dim();
+            if let FlipOutcome::Feasible { delta } = state.probe_flip(i, &mut rng) {
+                state.commit_flip(i, delta);
+            }
+        }
+        // Noise-free: tracked energy equals the exact form energy
+        // (default bits are lossless for integer penalties).
+        let expected = form.energy(state.assignment());
+        assert!(
+            (state.energy() - expected).abs() < 1e-6,
+            "dqubo energy {} vs exact {expected}",
+            state.energy()
+        );
+        assert_eq!(state.item_assignment().len(), 8);
+    }
+
+    #[test]
+    fn dqubo_pair_probe_matches_sequential_flips() {
+        let inst = QkpGenerator::new(6, 1.0)
+            .with_capacity_range(10, 20)
+            .generate(9);
+        let form = inst
+            .to_dqubo(PenaltyWeights::PAPER, AuxEncoding::Binary)
+            .unwrap();
+        let mut state =
+            DquboHardwareState::build(&form, None, 0.0, Assignment::zeros(form.dim()));
+        let mut rng = StdRng::seed_from_u64(10);
+        let before = state.energy();
+        if let FlipOutcome::Feasible { delta } = state.probe_pair(0, 3, &mut rng) {
+            state.commit_pair(0, 3, delta);
+        }
+        let expected = form.energy(state.assignment());
+        assert!((state.energy() - expected).abs() < 1e-6);
+        assert_ne!(state.energy(), before);
+    }
+}

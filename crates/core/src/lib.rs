@@ -1,0 +1,58 @@
+//! **HyCiM** — the hybrid computing-in-memory QUBO solver framework of
+//! the paper (Fig. 3), assembled from the substrate crates.
+//!
+//! The pipeline for a COP with an inequality constraint (the paper's
+//! running example is the quadratic knapsack problem):
+//!
+//! 1. Transform the COP into the **inequality-QUBO** form
+//!    `min (Σwᵢxᵢ ≤ C)·xᵀQx` (Sec 3.2) — no auxiliary variables.
+//! 2. Map the constraint onto the **FeFET inequality filter**
+//!    (Sec 3.3) and `Q` onto the **FeFET CiM crossbar** (Sec 3.4).
+//! 3. Run **simulated annealing**: each proposed configuration goes
+//!    through the filter; only feasible ones reach the crossbar for a
+//!    QUBO energy computation.
+//!
+//! The baseline **D-QUBO** pipeline (Fig. 1(b)) — penalty encoding on
+//! a much larger crossbar, no filter — is provided for comparison, as
+//! is a noise-free software solver used for validation.
+//!
+//! # Example
+//!
+//! ```
+//! use hycim_core::{HyCimConfig, HyCimSolver};
+//! use hycim_cop::QkpInstance;
+//!
+//! # fn main() -> Result<(), hycim_core::HycimError> {
+//! // The paper's Fig. 7(e) example problem.
+//! let mut inst = QkpInstance::new(vec![10, 6, 8], vec![4, 7, 2], 9)?;
+//! inst.set_pair_profit(0, 1, 3);
+//! inst.set_pair_profit(0, 2, 7);
+//! inst.set_pair_profit(1, 2, 2);
+//!
+//! let solver = HyCimSolver::new(&inst, &HyCimConfig::default(), 1)?;
+//! let solution = solver.solve(42);
+//! assert!(solution.feasible);
+//! assert_eq!(solution.value, 25); // items 0 and 2: 10 + 8 + 7
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calibrate;
+mod dqubo_solver;
+mod error;
+pub mod generic;
+mod hardware;
+mod solution;
+mod solver;
+pub mod success;
+pub mod table;
+
+pub use calibrate::calibrate_t0;
+pub use dqubo_solver::{DquboConfig, DquboSolver};
+pub use error::HycimError;
+pub use hardware::{DquboHardwareState, HyCimHardwareState};
+pub use solution::Solution;
+pub use solver::{HyCimConfig, HyCimSolver, SoftwareSolver};

@@ -1,0 +1,88 @@
+use std::fmt;
+
+use hycim_anneal::AnnealTrace;
+use hycim_qubo::Assignment;
+
+/// Result of one solver run on a QKP instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Best item selection found (decoded to the original `n`
+    /// variables for D-QUBO runs).
+    pub assignment: Assignment,
+    /// True QKP objective value of `assignment` (0 if infeasible).
+    pub value: u64,
+    /// Whether `assignment` satisfies the capacity constraint — always
+    /// true for HyCiM (the filter never admits violations into the
+    /// accepted trajectory); frequently false for the D-QUBO baseline
+    /// (paper Fig. 10: "trapped in infeasible input configuration").
+    pub feasible: bool,
+    /// Energy as reported by the (noisy) hardware for its best state.
+    pub reported_energy: f64,
+    /// The annealing trace (energy evolution, acceptance statistics).
+    pub trace: AnnealTrace,
+}
+
+impl Solution {
+    /// Whether this run counts as a success under the paper's
+    /// criterion (Sec 4.3): feasible and within 95% of the best-known
+    /// value.
+    pub fn is_success(&self, best_known: u64) -> bool {
+        self.feasible && self.value as f64 >= 0.95 * best_known as f64
+    }
+
+    /// Value normalized by the best-known optimum — the y-axis of
+    /// paper Fig. 10.
+    pub fn normalized_value(&self, best_known: u64) -> f64 {
+        if best_known == 0 {
+            return 1.0;
+        }
+        self.value as f64 / best_known as f64
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Solution(value={}, feasible={}, {} items, E={:.1})",
+            self.value,
+            self.feasible,
+            self.assignment.ones(),
+            self.reported_energy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(value: u64, feasible: bool) -> Solution {
+        Solution {
+            assignment: Assignment::zeros(3),
+            value,
+            feasible,
+            reported_energy: -(value as f64),
+            trace: AnnealTrace::new(0.0, Assignment::zeros(3), false),
+        }
+    }
+
+    #[test]
+    fn success_criterion() {
+        assert!(dummy(95, true).is_success(100));
+        assert!(!dummy(94, true).is_success(100));
+        assert!(!dummy(100, false).is_success(100));
+        assert!(dummy(100, true).is_success(100));
+    }
+
+    #[test]
+    fn normalized_value() {
+        assert!((dummy(80, true).normalized_value(100) - 0.8).abs() < 1e-12);
+        assert_eq!(dummy(5, true).normalized_value(0), 1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert!(dummy(42, true).to_string().contains("value=42"));
+    }
+}

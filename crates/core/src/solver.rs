@@ -1,0 +1,333 @@
+use hycim_anneal::{Annealer, GeometricSchedule, SoftwareState};
+use hycim_cim::crossbar::CrossbarConfig;
+use hycim_cim::filter::FilterConfig;
+use hycim_cop::{solvers, QkpInstance};
+use hycim_qubo::{Assignment, InequalityQubo};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{calibrate_t0, HyCimHardwareState, HycimError, Solution};
+
+/// Configuration of the HyCiM solver pipeline.
+#[derive(Debug, Clone)]
+pub struct HyCimConfig {
+    /// Annealing sweeps; each sweep proposes `n` moves (the paper's
+    /// "1000 iterations", read as full-network updates — see
+    /// EXPERIMENTS.md).
+    pub sweeps: usize,
+    /// Fraction of exchange (swap) moves.
+    pub swap_probability: f64,
+    /// T₀ = `t0_fraction × mean|Δ|` at the initial state.
+    pub t0_fraction: f64,
+    /// Final temperature as a fraction of T₀.
+    pub t_end_fraction: f64,
+    /// Inequality filter hardware configuration.
+    pub filter: FilterConfig,
+    /// Crossbar hardware configuration.
+    pub crossbar: CrossbarConfig,
+    /// Record per-iteration energies (Fig. 7(f) traces) — off by
+    /// default to keep bulk experiments lean.
+    pub record_trace: bool,
+}
+
+impl HyCimConfig {
+    /// The paper-calibrated defaults (Sec 4).
+    pub fn paper() -> Self {
+        Self {
+            sweeps: 1000,
+            swap_probability: 0.5,
+            t0_fraction: 0.5,
+            t_end_fraction: 0.002,
+            filter: FilterConfig::paper(),
+            crossbar: CrossbarConfig::paper(),
+            record_trace: false,
+        }
+    }
+
+    /// Overrides the sweep count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sweeps == 0`.
+    pub fn with_sweeps(mut self, sweeps: usize) -> Self {
+        assert!(sweeps > 0, "need at least one sweep");
+        self.sweeps = sweeps;
+        self
+    }
+
+    /// Enables per-iteration trace recording.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Replaces the filter configuration.
+    pub fn with_filter(mut self, filter: FilterConfig) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Replaces the crossbar configuration.
+    pub fn with_crossbar(mut self, crossbar: CrossbarConfig) -> Self {
+        self.crossbar = crossbar;
+        self
+    }
+}
+
+impl Default for HyCimConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The HyCiM solver: inequality-QUBO transformation + FeFET inequality
+/// filter + FeFET CiM crossbar + SA logic (paper Fig. 3).
+#[derive(Debug, Clone)]
+pub struct HyCimSolver {
+    instance: QkpInstance,
+    problem: InequalityQubo,
+    config: HyCimConfig,
+    /// Seed used to fabricate hardware instances (device variability
+    /// is sampled per-solver, like a real chip).
+    hardware_seed: u64,
+}
+
+impl HyCimSolver {
+    /// Builds a solver for a QKP instance. `hardware_seed` fixes the
+    /// fabricated device variability (a "chip instance").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HycimError`] if the instance cannot be transformed or
+    /// mapped onto the hardware (e.g. weights exceeding the filter's
+    /// 64-unit columns).
+    pub fn new(
+        instance: &QkpInstance,
+        config: &HyCimConfig,
+        hardware_seed: u64,
+    ) -> Result<Self, HycimError> {
+        let problem = instance.to_inequality_qubo()?;
+        // Validate hardware mapping eagerly so configuration errors
+        // surface at build time, not first solve.
+        let mut rng = StdRng::seed_from_u64(hardware_seed);
+        let _ = HyCimHardwareState::build(
+            &problem,
+            &config.filter,
+            &config.crossbar,
+            Assignment::zeros(problem.dim()),
+            &mut rng,
+        )?;
+        Ok(Self {
+            instance: instance.clone(),
+            problem,
+            config: config.clone(),
+            hardware_seed,
+        })
+    }
+
+    /// The problem in inequality-QUBO form.
+    pub fn problem(&self) -> &InequalityQubo {
+        &self.problem
+    }
+
+    /// The QKP instance being solved.
+    pub fn instance(&self) -> &QkpInstance {
+        &self.instance
+    }
+
+    /// Runs one annealing from a random feasible initial configuration
+    /// derived from `seed`.
+    pub fn solve(&self, seed: u64) -> Solution {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let initial = solvers::random_feasible(&self.instance, &mut rng);
+        self.solve_from(&initial, seed)
+    }
+
+    /// Runs one annealing from an explicit initial configuration
+    /// (which must be feasible — the paper's initial states are
+    /// Monte-Carlo sampled feasible configurations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is infeasible or has the wrong length.
+    pub fn solve_from(&self, initial: &Assignment, seed: u64) -> Solution {
+        let mut hw_rng = StdRng::seed_from_u64(self.hardware_seed);
+        let mut state = HyCimHardwareState::build(
+            &self.problem,
+            &self.config.filter,
+            &self.config.crossbar,
+            initial.clone(),
+            &mut hw_rng,
+        )
+        .expect("mapping validated at construction");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let iterations = self.config.sweeps * self.problem.dim();
+        let t0 = calibrate_t0(&mut state, self.config.t0_fraction, 64, &mut rng);
+        let alpha = self
+            .config
+            .t_end_fraction
+            .powf(1.0 / iterations as f64);
+        let mut annealer = Annealer::new(GeometricSchedule::new(t0, alpha), iterations)
+            .with_swap_probability(self.config.swap_probability);
+        if !self.config.record_trace {
+            annealer = annealer.without_trace();
+        }
+        let trace = annealer.run(&mut state, &mut rng);
+        let assignment = trace.best_assignment().clone();
+        let feasible = self.instance.is_feasible(&assignment);
+        let value = if feasible {
+            self.instance.value(&assignment)
+        } else {
+            0
+        };
+        Solution {
+            assignment,
+            value,
+            feasible,
+            reported_energy: trace.best_energy(),
+            trace,
+        }
+    }
+}
+
+/// Noise-free software reference solver on the same inequality-QUBO
+/// form: exact constraint arithmetic, exact energies. Used to separate
+/// algorithmic effects from hardware effects.
+#[derive(Debug, Clone)]
+pub struct SoftwareSolver {
+    instance: QkpInstance,
+    problem: InequalityQubo,
+    config: HyCimConfig,
+}
+
+impl SoftwareSolver {
+    /// Builds a software solver with the same annealing parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HycimError`] if the instance cannot be transformed.
+    pub fn new(instance: &QkpInstance, config: &HyCimConfig) -> Result<Self, HycimError> {
+        Ok(Self {
+            instance: instance.clone(),
+            problem: instance.to_inequality_qubo()?,
+            config: config.clone(),
+        })
+    }
+
+    /// Runs one annealing from a seed-derived random feasible start.
+    pub fn solve(&self, seed: u64) -> Solution {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let initial = solvers::random_feasible(&self.instance, &mut rng);
+        self.solve_from(&initial, seed)
+    }
+
+    /// Runs one annealing from an explicit feasible start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is infeasible or has the wrong length.
+    pub fn solve_from(&self, initial: &Assignment, seed: u64) -> Solution {
+        let mut state = SoftwareState::new(&self.problem, initial.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let iterations = self.config.sweeps * self.problem.dim();
+        let t0 = calibrate_t0(&mut state, self.config.t0_fraction, 64, &mut rng);
+        let alpha = self.config.t_end_fraction.powf(1.0 / iterations as f64);
+        let mut annealer = Annealer::new(GeometricSchedule::new(t0, alpha), iterations)
+            .with_swap_probability(self.config.swap_probability);
+        if !self.config.record_trace {
+            annealer = annealer.without_trace();
+        }
+        let trace = annealer.run(&mut state, &mut rng);
+        let assignment = trace.best_assignment().clone();
+        let feasible = self.instance.is_feasible(&assignment);
+        let value = if feasible {
+            self.instance.value(&assignment)
+        } else {
+            0
+        };
+        Solution {
+            assignment,
+            value,
+            feasible,
+            reported_energy: trace.best_energy(),
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hycim_cop::generator::QkpGenerator;
+
+    fn fig7e() -> QkpInstance {
+        let mut inst = QkpInstance::new(vec![10, 6, 8], vec![4, 7, 2], 9).unwrap();
+        inst.set_pair_profit(0, 1, 3);
+        inst.set_pair_profit(0, 2, 7);
+        inst.set_pair_profit(1, 2, 2);
+        inst
+    }
+
+    #[test]
+    fn hycim_solves_fig7e() {
+        let solver = HyCimSolver::new(&fig7e(), &HyCimConfig::default().with_sweeps(50), 1)
+            .unwrap();
+        let solution = solver.solve(2);
+        assert!(solution.feasible);
+        assert_eq!(solution.value, 25);
+        assert!(solution.is_success(25));
+    }
+
+    #[test]
+    fn software_solves_fig7e() {
+        let solver = SoftwareSolver::new(&fig7e(), &HyCimConfig::default().with_sweeps(50))
+            .unwrap();
+        let solution = solver.solve(3);
+        assert_eq!(solution.value, 25);
+    }
+
+    #[test]
+    fn solutions_are_seed_deterministic() {
+        let solver = HyCimSolver::new(&fig7e(), &HyCimConfig::default().with_sweeps(20), 7)
+            .unwrap();
+        assert_eq!(solver.solve(11).value, solver.solve(11).value);
+        assert_eq!(
+            solver.solve(11).reported_energy,
+            solver.solve(11).reported_energy
+        );
+    }
+
+    #[test]
+    fn hycim_result_is_always_feasible() {
+        for seed in 0..5 {
+            let inst = QkpGenerator::new(40, 0.5).generate(seed);
+            let solver =
+                HyCimSolver::new(&inst, &HyCimConfig::default().with_sweeps(100), seed)
+                    .unwrap();
+            let solution = solver.solve(seed);
+            assert!(solution.feasible, "HyCiM produced infeasible at seed {seed}");
+            assert!(solution.value > 0);
+        }
+    }
+
+    #[test]
+    fn trace_recording_toggles() {
+        let solver = HyCimSolver::new(
+            &fig7e(),
+            &HyCimConfig::default().with_sweeps(10).with_trace(),
+            1,
+        )
+        .unwrap();
+        assert!(!solver.solve(1).trace.energies().is_empty());
+        let solver2 =
+            HyCimSolver::new(&fig7e(), &HyCimConfig::default().with_sweeps(10), 1).unwrap();
+        assert!(solver2.solve(1).trace.energies().is_empty());
+    }
+
+    #[test]
+    fn oversized_weights_fail_at_build() {
+        // Item weight 100 > filter column limit 64.
+        let inst = QkpInstance::new(vec![5, 5], vec![100, 3], 50).unwrap();
+        assert!(HyCimSolver::new(&inst, &HyCimConfig::default(), 1).is_err());
+    }
+}

@@ -1,0 +1,241 @@
+//! Success-rate experiment harness (paper Sec 4.3, Fig. 10).
+//!
+//! The paper's protocol: for each QKP instance, generate initial input
+//! configurations by Monte-Carlo sampling, run SA from each, and count
+//! a run as a success when it reaches ≥ 95% of the optimal value.
+//! HyCiM averages 98.54%; D-QUBO 10.75%.
+
+use hycim_cop::{solvers, QkpInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{DquboConfig, DquboSolver, HyCimConfig, HyCimSolver, HycimError, Solution};
+
+/// Outcome of a success-rate experiment over one instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceReport {
+    /// Instance name.
+    pub name: String,
+    /// Best-known value used as the optimum reference.
+    pub best_known: u64,
+    /// Normalized values of every run (Fig. 10 scatter points).
+    pub normalized_values: Vec<f64>,
+    /// Number of successful runs (≥ 95% of best-known, feasible).
+    pub successes: usize,
+    /// Number of runs that ended infeasible (D-QUBO trapping).
+    pub infeasible_runs: usize,
+}
+
+impl InstanceReport {
+    /// Success rate of this instance in percent.
+    pub fn success_rate(&self) -> f64 {
+        if self.normalized_values.is_empty() {
+            return 0.0;
+        }
+        100.0 * self.successes as f64 / self.normalized_values.len() as f64
+    }
+}
+
+/// Aggregate outcome across instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuccessReport {
+    /// Per-instance breakdown.
+    pub instances: Vec<InstanceReport>,
+}
+
+impl SuccessReport {
+    /// Average success rate across all runs (the paper's headline
+    /// 98.54% / 10.75% numbers).
+    pub fn average_success_rate(&self) -> f64 {
+        let total_runs: usize = self
+            .instances
+            .iter()
+            .map(|i| i.normalized_values.len())
+            .sum();
+        if total_runs == 0 {
+            return 0.0;
+        }
+        let total_successes: usize = self.instances.iter().map(|i| i.successes).sum();
+        100.0 * total_successes as f64 / total_runs as f64
+    }
+
+    /// Fraction of runs ending infeasible, in percent.
+    pub fn infeasible_rate(&self) -> f64 {
+        let total_runs: usize = self
+            .instances
+            .iter()
+            .map(|i| i.normalized_values.len())
+            .sum();
+        if total_runs == 0 {
+            return 0.0;
+        }
+        let infeasible: usize = self.instances.iter().map(|i| i.infeasible_runs).sum();
+        100.0 * infeasible as f64 / total_runs as f64
+    }
+
+    /// All normalized values flattened (the full Fig. 10 scatter).
+    pub fn all_normalized_values(&self) -> Vec<f64> {
+        self.instances
+            .iter()
+            .flat_map(|i| i.normalized_values.iter().copied())
+            .collect()
+    }
+}
+
+/// Establishes the best-known value for an instance, folding in any
+/// extra candidate values discovered during the experiment runs.
+pub fn best_known_value(inst: &QkpInstance, candidates: &[u64], seed: u64) -> u64 {
+    let (_, heuristic) = solvers::best_known(inst, 15, seed);
+    candidates
+        .iter()
+        .copied()
+        .chain(std::iter::once(heuristic))
+        .max()
+        .unwrap_or(heuristic)
+}
+
+/// Runs the HyCiM side of the Fig. 10 experiment on one instance:
+/// `initials` Monte-Carlo starting configurations, one SA run each.
+///
+/// # Errors
+///
+/// Propagates solver construction failures.
+pub fn run_hycim_instance(
+    inst: &QkpInstance,
+    config: &HyCimConfig,
+    initials: usize,
+    seed: u64,
+) -> Result<InstanceReport, HycimError> {
+    let solver = HyCimSolver::new(inst, config, seed)?;
+    let solutions: Vec<Solution> = (0..initials)
+        .map(|k| solver.solve(seed.wrapping_add(k as u64)))
+        .collect();
+    Ok(summarize(inst, solutions, seed))
+}
+
+/// Runs the D-QUBO side of the Fig. 10 experiment on one instance.
+///
+/// # Errors
+///
+/// Propagates solver construction failures.
+pub fn run_dqubo_instance(
+    inst: &QkpInstance,
+    config: &DquboConfig,
+    initials: usize,
+    seed: u64,
+) -> Result<InstanceReport, HycimError> {
+    let solver = DquboSolver::new(inst, config)?;
+    let solutions: Vec<Solution> = (0..initials)
+        .map(|k| solver.solve(seed.wrapping_add(k as u64)))
+        .collect();
+    Ok(summarize(inst, solutions, seed))
+}
+
+fn summarize(inst: &QkpInstance, solutions: Vec<Solution>, seed: u64) -> InstanceReport {
+    let candidates: Vec<u64> = solutions.iter().map(|s| s.value).collect();
+    let best = best_known_value(inst, &candidates, seed);
+    let normalized_values: Vec<f64> = solutions
+        .iter()
+        .map(|s| s.normalized_value(best))
+        .collect();
+    let successes = solutions.iter().filter(|s| s.is_success(best)).count();
+    let infeasible_runs = solutions.iter().filter(|s| !s.feasible).count();
+    InstanceReport {
+        name: inst.name().to_string(),
+        best_known: best,
+        normalized_values,
+        successes,
+        infeasible_runs,
+    }
+}
+
+/// Draws the paper's Monte-Carlo initial configurations: `count`
+/// feasible random selections for an instance.
+pub fn monte_carlo_initials(
+    inst: &QkpInstance,
+    count: usize,
+    seed: u64,
+) -> Vec<hycim_qubo::Assignment> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| solvers::random_feasible(inst, &mut rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hycim_cop::generator::QkpGenerator;
+
+    #[test]
+    fn hycim_report_on_small_set() {
+        let inst = QkpGenerator::new(25, 0.5).generate(1);
+        let report = run_hycim_instance(
+            &inst,
+            &HyCimConfig::default().with_sweeps(150),
+            5,
+            1,
+        )
+        .unwrap();
+        assert_eq!(report.normalized_values.len(), 5);
+        assert!(report.success_rate() >= 80.0, "rate {}", report.success_rate());
+        assert_eq!(report.infeasible_runs, 0);
+    }
+
+    #[test]
+    fn dqubo_report_counts_infeasible() {
+        let inst = QkpGenerator::new(25, 0.5).generate(2);
+        let report = run_dqubo_instance(
+            &inst,
+            &DquboConfig::default().with_sweeps(50),
+            5,
+            2,
+        )
+        .unwrap();
+        assert_eq!(report.normalized_values.len(), 5);
+        // All values within [0, ~1].
+        assert!(report
+            .normalized_values
+            .iter()
+            .all(|&v| (0.0..=1.001).contains(&v)));
+    }
+
+    #[test]
+    fn aggregate_rates() {
+        let r1 = InstanceReport {
+            name: "a".into(),
+            best_known: 100,
+            normalized_values: vec![1.0, 0.5],
+            successes: 1,
+            infeasible_runs: 1,
+        };
+        let r2 = InstanceReport {
+            name: "b".into(),
+            best_known: 100,
+            normalized_values: vec![1.0, 1.0],
+            successes: 2,
+            infeasible_runs: 0,
+        };
+        let report = SuccessReport {
+            instances: vec![r1, r2],
+        };
+        assert!((report.average_success_rate() - 75.0).abs() < 1e-12);
+        assert!((report.infeasible_rate() - 25.0).abs() < 1e-12);
+        assert_eq!(report.all_normalized_values().len(), 4);
+    }
+
+    #[test]
+    fn monte_carlo_initials_are_feasible() {
+        let inst = QkpGenerator::new(30, 0.75).generate(3);
+        for x in monte_carlo_initials(&inst, 10, 4) {
+            assert!(inst.is_feasible(&x));
+        }
+    }
+
+    #[test]
+    fn best_known_folds_in_candidates() {
+        let inst = QkpGenerator::new(10, 0.5).generate(5);
+        let base = best_known_value(&inst, &[], 5);
+        assert_eq!(best_known_value(&inst, &[base + 50], 5), base + 50);
+    }
+}

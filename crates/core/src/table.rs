@@ -1,0 +1,167 @@
+//! Formatting helpers for the paper's summary table (Table 1) and the
+//! Fig. 9 hardware comparison rows.
+
+use std::fmt::Write as _;
+
+/// One row of the paper's Table 1 (QUBO solver summary).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverRow {
+    /// Citation tag (e.g. "\[29\]" or "This work").
+    pub reference: String,
+    /// Target COP.
+    pub cop: String,
+    /// Constraint type handled.
+    pub constraint: String,
+    /// Whether the solver reduces the search space.
+    pub search_space_reduction: bool,
+    /// COP-to-QUBO transformation used.
+    pub transformation: String,
+    /// Crossbar device technology.
+    pub hardware: String,
+    /// Problem size demonstrated.
+    pub problem_size: String,
+    /// Average success rate in percent, when reported.
+    pub success_rate: Option<f64>,
+}
+
+/// The literature rows of Table 1 (values cited from the paper).
+pub fn literature_rows() -> Vec<SolverRow> {
+    vec![
+        SolverRow {
+            reference: "[29]".into(),
+            cop: "Max-Cut".into(),
+            constraint: "-".into(),
+            search_space_reduction: false,
+            transformation: "D-QUBO".into(),
+            hardware: "Memristor".into(),
+            problem_size: "60 node".into(),
+            success_rate: Some(65.0),
+        },
+        SolverRow {
+            reference: "[30]".into(),
+            cop: "Spin Glass".into(),
+            constraint: "-".into(),
+            search_space_reduction: false,
+            transformation: "D-QUBO".into(),
+            hardware: "RRAM".into(),
+            problem_size: "15 node".into(),
+            success_rate: None,
+        },
+        SolverRow {
+            reference: "[31]".into(),
+            cop: "Traveling Salesman".into(),
+            constraint: "Equality".into(),
+            search_space_reduction: false,
+            transformation: "D-QUBO".into(),
+            hardware: "RRAM".into(),
+            problem_size: "100 node".into(),
+            success_rate: Some(31.0),
+        },
+        SolverRow {
+            reference: "[3]".into(),
+            cop: "Graph Coloring".into(),
+            constraint: "Equality".into(),
+            search_space_reduction: false,
+            transformation: "D-QUBO".into(),
+            hardware: "FeFET".into(),
+            problem_size: "21 node".into(),
+            success_rate: None,
+        },
+        SolverRow {
+            reference: "[32]".into(),
+            cop: "Knapsack".into(),
+            constraint: "Inequality".into(),
+            search_space_reduction: false,
+            transformation: "D-QUBO".into(),
+            hardware: "RRAM".into(),
+            problem_size: "10 node".into(),
+            success_rate: Some(92.4),
+        },
+    ]
+}
+
+/// The "This work" row with a measured success rate.
+pub fn this_work_row(success_rate: f64) -> SolverRow {
+    SolverRow {
+        reference: "This work".into(),
+        cop: "Quadratic Knapsack".into(),
+        constraint: "Inequality".into(),
+        search_space_reduction: true,
+        transformation: "Inequality-QUBO".into(),
+        hardware: "FeFET".into(),
+        problem_size: "100 node".into(),
+        success_rate: Some(success_rate),
+    }
+}
+
+/// Renders Table 1 as aligned plain text.
+pub fn render_table(rows: &[SolverRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<20} {:<11} {:<10} {:<16} {:<10} {:<10} {:>8}",
+        "Reference",
+        "COP",
+        "Constraint",
+        "SS-Red.",
+        "Transformation",
+        "Hardware",
+        "Size",
+        "Succ.%"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(102));
+    for row in rows {
+        let rate = row
+            .success_rate
+            .map(|r| format!("{r:.2}"))
+            .unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "{:<10} {:<20} {:<11} {:<10} {:<16} {:<10} {:<10} {:>8}",
+            row.reference,
+            row.cop,
+            row.constraint,
+            if row.search_space_reduction { "Yes" } else { "No" },
+            row.transformation,
+            row.hardware,
+            row.problem_size,
+            rate
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literature_rows_match_paper() {
+        let rows = literature_rows();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].success_rate, Some(65.0));
+        assert_eq!(rows[2].success_rate, Some(31.0));
+        assert_eq!(rows[4].success_rate, Some(92.4));
+        assert!(rows.iter().all(|r| !r.search_space_reduction));
+        assert!(rows.iter().all(|r| r.transformation == "D-QUBO"));
+    }
+
+    #[test]
+    fn this_work_is_inequality_qubo() {
+        let row = this_work_row(98.54);
+        assert!(row.search_space_reduction);
+        assert_eq!(row.transformation, "Inequality-QUBO");
+        assert_eq!(row.success_rate, Some(98.54));
+    }
+
+    #[test]
+    fn render_contains_all_references() {
+        let mut rows = literature_rows();
+        rows.push(this_work_row(98.5));
+        let text = render_table(&rows);
+        for r in &rows {
+            assert!(text.contains(&r.reference), "missing {}", r.reference);
+        }
+        assert!(text.contains("Inequality-QUBO"));
+    }
+}

@@ -1,0 +1,57 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the device substrate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A storage level outside the device's supported range was requested.
+    LevelOutOfRange {
+        /// Requested level.
+        level: u8,
+        /// Highest level the device supports.
+        max_level: u8,
+    },
+    /// A voltage outside the safe operating range was requested.
+    VoltageOutOfRange {
+        /// Requested voltage in volts.
+        voltage: f64,
+        /// Maximum safe voltage in volts.
+        limit: f64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::LevelOutOfRange { level, max_level } => {
+                write!(f, "storage level {level} exceeds device maximum {max_level}")
+            }
+            DeviceError::VoltageOutOfRange { voltage, limit } => {
+                write!(f, "voltage {voltage} V exceeds safe limit {limit} V")
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = DeviceError::LevelOutOfRange {
+            level: 9,
+            max_level: 4,
+        };
+        assert!(e.to_string().contains("level 9"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<DeviceError>();
+    }
+}

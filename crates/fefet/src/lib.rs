@@ -1,0 +1,59 @@
+//! Behavioral FeFET device substrate for the HyCiM reproduction.
+//!
+//! The paper's circuits (Sec 2.2, Fig. 2) rest on three device
+//! properties, all modeled here:
+//!
+//! 1. **Multi-level storage** — different write pulses program
+//!    different threshold voltages, giving the multi-level I_D–V_G
+//!    curves of Fig. 2(b). Modeled by [`MultiLevelSpec`] +
+//!    [`FefetDevice`] with a logistic transfer characteristic.
+//! 2. **Hysteretic programming** — a simplified Preisach-style
+//!    polarization model ([`preisach`]) maps program/erase pulses to
+//!    threshold-voltage shifts, as in the compact model the paper
+//!    simulates with \[26\].
+//! 3. **Single-transistor multiplication** — with a binary bit `q`
+//!    stored, drain current realizes `i = x · q · y` when `x` drives
+//!    the gate and `y` the drain (Fig. 2(c)). See
+//!    [`FefetCell::multiply`].
+//!
+//! Device-to-device and cycle-to-cycle variability (the spread across
+//! the 60 measured devices in Fig. 2(b)) is modeled by
+//! [`VariationModel`] and propagates into every read. The 1FeFET1R
+//! current clamp the paper uses to regulate ON current (Fig. 4(a,b),
+//! \[24, 25\]) is modeled by [`FefetCell`].
+//!
+//! # Example
+//!
+//! A cell programmed to level 3 conducts under `Vread_j` exactly when
+//! `j ≤ 3` (lower read indices use higher voltages — see
+//! [`MultiLevelSpec::read_voltage`]):
+//!
+//! ```
+//! use hycim_fefet::{FefetCell, MultiLevelSpec, VariationModel};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let spec = MultiLevelSpec::paper_filter();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut cell = FefetCell::sample(&spec, &VariationModel::default(), &mut rng);
+//! cell.program(3);
+//! assert!(cell.is_on(spec.read_voltage(3), &mut rng));
+//! assert!(cell.is_on(spec.read_voltage(1), &mut rng));
+//! assert!(!cell.is_on(spec.read_voltage(4), &mut rng));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod device;
+mod error;
+pub mod preisach;
+mod pulse;
+pub mod retention;
+mod variability;
+
+pub use cell::FefetCell;
+pub use device::{FefetDevice, MultiLevelSpec};
+pub use error::DeviceError;
+pub use pulse::{StaircasePulse, WritePulse};
+pub use variability::VariationModel;

@@ -1,0 +1,238 @@
+//! Simplified Preisach-style ferroelectric polarization model.
+//!
+//! The paper simulates FeFETs with the circuit-compatible Preisach
+//! compact model of Ni et al. \[26\]. For the solver, what matters is
+//! the *map from write pulses to threshold voltage*: positive gate
+//! pulses progressively polarize the ferroelectric (lowering Vt),
+//! negative pulses depolarize it (raising Vt), with saturation and
+//! history dependence. This module captures that with a scalar
+//! polarization state driven by a tanh saturation law — a standard
+//! reduced-order Preisach surrogate.
+//!
+//! # Example
+//!
+//! ```
+//! use hycim_fefet::preisach::PolarizationState;
+//! use hycim_fefet::{MultiLevelSpec, WritePulse};
+//!
+//! let spec = MultiLevelSpec::paper_filter();
+//! let mut p = PolarizationState::new(&spec);
+//! // A strong program pulse drives the device toward the lowest-Vt level.
+//! p.apply_pulse(&WritePulse::program(4.0, 1000.0));
+//! assert_eq!(p.nearest_level(), spec.max_level());
+//! // A strong erase pulse resets it.
+//! p.apply_pulse(&WritePulse::erase(-4.0, 1000.0));
+//! assert_eq!(p.nearest_level(), 0);
+//! ```
+
+use crate::{MultiLevelSpec, WritePulse};
+
+/// Scalar polarization state of one FeFET's ferroelectric layer,
+/// normalized to `[-1, +1]` (−1 = fully erased / highest Vt, +1 =
+/// fully programmed / lowest Vt).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolarizationState {
+    /// Normalized remanent polarization in [-1, 1].
+    p: f64,
+    /// Vt at p = −1 (erased).
+    vt_high: f64,
+    /// Vt at p = +1 (fully programmed).
+    vt_low: f64,
+    /// Coercive voltage: pulses below this amplitude barely move P.
+    v_coercive: f64,
+    /// Time constant (ns) of the switching dynamics at 2× coercive
+    /// voltage.
+    tau_ns: f64,
+}
+
+impl PolarizationState {
+    /// Initializes an erased device whose polarization range spans the
+    /// spec's threshold range.
+    pub fn new(spec: &MultiLevelSpec) -> Self {
+        Self {
+            p: -1.0,
+            vt_high: spec.threshold(0),
+            vt_low: spec.threshold(spec.max_level()),
+            v_coercive: 1.0,
+            tau_ns: 50.0,
+        }
+    }
+
+    /// Normalized polarization in `[-1, 1]`.
+    pub fn polarization(&self) -> f64 {
+        self.p
+    }
+
+    /// Threshold voltage implied by the current polarization: linear
+    /// interpolation between the erased and programmed extremes.
+    pub fn threshold_voltage(&self) -> f64 {
+        let t = (self.p + 1.0) / 2.0;
+        self.vt_high + t * (self.vt_low - self.vt_high)
+    }
+
+    /// The discrete storage level whose nominal threshold is closest
+    /// to the current analog threshold, given `levels` evenly spanning
+    /// the Vt range.
+    pub fn nearest_level(&self) -> u8 {
+        // Levels are evenly spaced in Vt between vt_high (level 0) and
+        // vt_low (max level); the polarization fraction maps directly.
+        let t = (self.p + 1.0) / 2.0;
+        // Number of levels is implied by construction via spec; since
+        // t ∈ [0, 1], quantize to the nearest of the evenly spaced
+        // points {0, 1/(L-1), ..., 1}.
+        (t * f64::from(self.num_levels() - 1)).round() as u8
+    }
+
+    fn num_levels(&self) -> u8 {
+        // Reconstructed from the Vt extremes assuming the paper's
+        // 0.5 V level pitch; falls back to 2 for degenerate ranges.
+        let span = (self.vt_high - self.vt_low).abs();
+        ((span / 0.5).round() as u8 + 1).max(2)
+    }
+
+    /// Applies one write pulse. Positive amplitudes polarize toward
+    /// +1 (program), negative toward −1 (erase). Sub-coercive pulses
+    /// have exponentially suppressed effect; longer pulses and larger
+    /// overdrive move the state further (tanh saturation, no
+    /// overshoot).
+    pub fn apply_pulse(&mut self, pulse: &WritePulse) {
+        let v = pulse.amplitude();
+        let width = pulse.width_ns();
+        let target = if v >= 0.0 { 1.0 } else { -1.0 };
+        let overdrive = (v.abs() / self.v_coercive) - 1.0;
+        if overdrive <= 0.0 {
+            // Sub-coercive: negligible switching.
+            return;
+        }
+        // First-order relaxation toward the saturated state with a
+        // voltage-accelerated rate (merged Preisach branch).
+        let rate = overdrive * width / self.tau_ns;
+        let step = 1.0 - (-rate).exp();
+        self.p += (target - self.p) * step;
+        self.p = self.p.clamp(-1.0, 1.0);
+    }
+
+    /// Applies the canonical pulse train that programs the device to
+    /// `level`: a saturating erase followed by a partial program pulse
+    /// whose width is tuned to land on the level (paper Fig. 2(a):
+    /// "applying different write pulses").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is not representable in the device's range.
+    pub fn program_level(&mut self, level: u8, spec: &MultiLevelSpec) {
+        assert!(level <= spec.max_level(), "level out of range");
+        // Full erase establishes a known branch.
+        self.apply_pulse(&WritePulse::erase(-4.0, 2000.0));
+        if level == 0 {
+            return;
+        }
+        // Solve the relaxation equation for the width that reaches the
+        // target polarization p* from p = −1:
+        //   p* = −1 + 2·(1 − exp(−overdrive·w/τ))
+        let t = f64::from(level) / f64::from(spec.max_level());
+        let target_p = -1.0 + 2.0 * t;
+        let amplitude = 4.0_f64;
+        let overdrive = amplitude / self.v_coercive - 1.0;
+        let step_needed = (target_p + 1.0) / 2.0;
+        let width = if step_needed >= 1.0 {
+            5000.0
+        } else {
+            -(1.0 - step_needed).ln() * self.tau_ns / overdrive
+        };
+        self.apply_pulse(&WritePulse::program(amplitude, width));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> MultiLevelSpec {
+        MultiLevelSpec::paper_filter()
+    }
+
+    #[test]
+    fn starts_erased() {
+        let p = PolarizationState::new(&spec());
+        assert_eq!(p.polarization(), -1.0);
+        assert_eq!(p.nearest_level(), 0);
+        assert!((p.threshold_voltage() - spec().threshold(0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_program_reaches_max_level() {
+        let mut p = PolarizationState::new(&spec());
+        p.apply_pulse(&WritePulse::program(4.0, 5000.0));
+        assert!(p.polarization() > 0.99);
+        assert_eq!(p.nearest_level(), 4);
+    }
+
+    #[test]
+    fn sub_coercive_pulse_is_inert() {
+        let mut p = PolarizationState::new(&spec());
+        let before = p.polarization();
+        p.apply_pulse(&WritePulse::program(0.5, 1000.0));
+        assert_eq!(p.polarization(), before);
+    }
+
+    #[test]
+    fn longer_pulses_switch_more() {
+        let mut short = PolarizationState::new(&spec());
+        let mut long = PolarizationState::new(&spec());
+        short.apply_pulse(&WritePulse::program(2.0, 10.0));
+        long.apply_pulse(&WritePulse::program(2.0, 100.0));
+        assert!(long.polarization() > short.polarization());
+    }
+
+    #[test]
+    fn higher_amplitude_switches_more() {
+        let mut weak = PolarizationState::new(&spec());
+        let mut strong = PolarizationState::new(&spec());
+        weak.apply_pulse(&WritePulse::program(1.5, 50.0));
+        strong.apply_pulse(&WritePulse::program(3.5, 50.0));
+        assert!(strong.polarization() > weak.polarization());
+    }
+
+    #[test]
+    fn program_level_hits_every_level() {
+        let spec = spec();
+        for level in 0..=spec.max_level() {
+            let mut p = PolarizationState::new(&spec);
+            p.program_level(level, &spec);
+            assert_eq!(p.nearest_level(), level, "missed level {level}");
+        }
+    }
+
+    #[test]
+    fn program_level_threshold_tracks_spec() {
+        let spec = spec();
+        for level in 0..=spec.max_level() {
+            let mut p = PolarizationState::new(&spec);
+            p.program_level(level, &spec);
+            let err = (p.threshold_voltage() - spec.threshold(level)).abs();
+            assert!(err < 0.15, "level {level} Vt error {err}");
+        }
+    }
+
+    #[test]
+    fn hysteresis_is_history_dependent() {
+        // Same final pulse, different histories → different states.
+        let mut a = PolarizationState::new(&spec());
+        let mut b = PolarizationState::new(&spec());
+        a.apply_pulse(&WritePulse::program(4.0, 5000.0)); // saturate first
+        let pulse = WritePulse::program(2.0, 30.0);
+        a.apply_pulse(&pulse);
+        b.apply_pulse(&pulse);
+        assert!(a.polarization() > b.polarization());
+    }
+
+    #[test]
+    fn erase_resets() {
+        let mut p = PolarizationState::new(&spec());
+        p.apply_pulse(&WritePulse::program(4.0, 5000.0));
+        p.apply_pulse(&WritePulse::erase(-4.0, 5000.0));
+        assert!(p.polarization() < -0.99);
+        assert_eq!(p.nearest_level(), 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Retention / threshold-voltage drift — an extension beyond the
+//! paper's evaluation window.
+//!
+//! FeFET remanent polarization decays logarithmically with time
+//! (standard depolarization-field behavior), shifting each level's
+//! threshold toward the erased state. The paper reprograms the chip
+//! per measurement (Fig. 7(f)), implicitly avoiding retention effects;
+//! this module makes the effect explicit so the ablation benches can
+//! ask *how long a programmed problem instance remains solvable*
+//! without a refresh.
+
+use crate::MultiLevelSpec;
+
+/// Logarithmic retention model: after `t` seconds, a programmed
+/// level's threshold shifts toward the erased threshold by
+/// `drift_per_decade × log₁₀(1 + t/t₀)` volts.
+///
+/// # Example
+///
+/// ```
+/// use hycim_fefet::retention::RetentionModel;
+/// use hycim_fefet::MultiLevelSpec;
+///
+/// let spec = MultiLevelSpec::paper_filter();
+/// let model = RetentionModel::paper();
+/// // Fresh device: no shift.
+/// assert_eq!(model.vt_shift(0.0), 0.0);
+/// // After 10 years the shift is still below one level pitch (0.5 V),
+/// // so the stored weight remains readable.
+/// let ten_years = 10.0 * 365.25 * 86_400.0;
+/// assert!(model.vt_shift(ten_years) < 0.5);
+/// assert!(model.is_level_readable(&spec, ten_years));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetentionModel {
+    /// Vt drift per decade of time (V/decade).
+    drift_per_decade: f64,
+    /// Reference time t₀ (s) below which no drift accumulates.
+    t0: f64,
+}
+
+impl RetentionModel {
+    /// Typical 28 nm HKMG FeFET retention: ~20 mV/decade from a 1 s
+    /// reference — extrapolating to < 0.2 V shift at 10 years, matching
+    /// the ">10 year retention" usually quoted for these devices.
+    pub fn paper() -> Self {
+        Self {
+            drift_per_decade: 0.020,
+            t0: 1.0,
+        }
+    }
+
+    /// Custom model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is non-positive.
+    pub fn new(drift_per_decade: f64, t0: f64) -> Self {
+        assert!(drift_per_decade > 0.0, "drift must be positive");
+        assert!(t0 > 0.0, "reference time must be positive");
+        Self {
+            drift_per_decade,
+            t0,
+        }
+    }
+
+    /// Threshold shift (V, toward erased) after `seconds` of
+    /// retention.
+    pub fn vt_shift(&self, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        self.drift_per_decade * (1.0 + seconds / self.t0).log10()
+    }
+
+    /// Whether every programmed level of `spec` is still read
+    /// correctly after `seconds`: the drifted threshold must not cross
+    /// the read voltage that separates it from the next-lower level
+    /// (drift raises Vt toward erased, so level `k` fails once
+    /// `Vt(k) + shift > Vread_k`).
+    pub fn is_level_readable(&self, spec: &MultiLevelSpec, seconds: f64) -> bool {
+        let shift = self.vt_shift(seconds);
+        (1..=spec.max_level()).all(|k| spec.threshold(k) + shift < spec.read_voltage(k))
+    }
+
+    /// The retention time (s) at which the first level becomes
+    /// unreadable, by bisection over the log-time axis. Returns
+    /// `f64::INFINITY` if no failure occurs within 100 years.
+    pub fn failure_time(&self, spec: &MultiLevelSpec) -> f64 {
+        const CENTURY: f64 = 100.0 * 365.25 * 86_400.0;
+        if self.is_level_readable(spec, CENTURY) {
+            return f64::INFINITY;
+        }
+        let (mut lo, mut hi) = (0.0_f64, CENTURY);
+        for _ in 0..200 {
+            let mid = (lo + hi) / 2.0;
+            if self.is_level_readable(spec, mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    }
+}
+
+impl Default for RetentionModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_is_monotone_in_time() {
+        let m = RetentionModel::paper();
+        assert!(m.vt_shift(10.0) > m.vt_shift(1.0));
+        assert!(m.vt_shift(1e6) > m.vt_shift(1e3));
+        assert_eq!(m.vt_shift(-5.0), 0.0);
+    }
+
+    #[test]
+    fn logarithmic_shape() {
+        // Equal shifts per decade.
+        let m = RetentionModel::new(0.05, 1.0);
+        let d1 = m.vt_shift(1e3) - m.vt_shift(1e2);
+        let d2 = m.vt_shift(1e6) - m.vt_shift(1e5);
+        assert!((d1 - d2).abs() < 1e-3, "decades differ: {d1} vs {d2}");
+    }
+
+    #[test]
+    fn paper_devices_retain_ten_years() {
+        let spec = MultiLevelSpec::paper_filter();
+        let m = RetentionModel::paper();
+        let ten_years = 10.0 * 365.25 * 86_400.0;
+        assert!(m.is_level_readable(&spec, ten_years));
+        assert!(m.failure_time(&spec).is_infinite());
+    }
+
+    #[test]
+    fn aggressive_drift_fails_and_bisection_finds_it() {
+        let spec = MultiLevelSpec::paper_filter();
+        // 100 mV/decade: fails within years.
+        let m = RetentionModel::new(0.1, 1.0);
+        let t_fail = m.failure_time(&spec);
+        assert!(t_fail.is_finite());
+        assert!(m.is_level_readable(&spec, t_fail * 0.99));
+        assert!(!m.is_level_readable(&spec, t_fail * 1.01));
+    }
+
+    #[test]
+    #[should_panic(expected = "drift")]
+    fn rejects_non_positive_drift() {
+        let _ = RetentionModel::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,92 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or manipulating QUBO forms.
+///
+/// # Example
+///
+/// ```
+/// use hycim_qubo::{LinearConstraint, QuboError};
+///
+/// let err = LinearConstraint::new(vec![], 5).unwrap_err();
+/// assert!(matches!(err, QuboError::EmptyProblem));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QuboError {
+    /// A problem with zero variables was supplied.
+    EmptyProblem,
+    /// Two components that must agree on the variable count did not.
+    DimensionMismatch {
+        /// Dimension expected by the receiving component.
+        expected: usize,
+        /// Dimension actually supplied.
+        found: usize,
+    },
+    /// An index was outside the matrix dimension.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Matrix dimension.
+        dim: usize,
+    },
+    /// The constraint capacity is zero, so no item can ever be selected.
+    ZeroCapacity,
+    /// A matrix element was not finite (NaN or infinite).
+    NonFiniteElement {
+        /// Row of the offending element.
+        row: usize,
+        /// Column of the offending element.
+        col: usize,
+    },
+}
+
+impl fmt::Display for QuboError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuboError::EmptyProblem => write!(f, "problem has zero variables"),
+            QuboError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            QuboError::IndexOutOfBounds { index, dim } => {
+                write!(f, "index {index} out of bounds for dimension {dim}")
+            }
+            QuboError::ZeroCapacity => write!(f, "constraint capacity is zero"),
+            QuboError::NonFiniteElement { row, col } => {
+                write!(f, "matrix element ({row}, {col}) is not finite")
+            }
+        }
+    }
+}
+
+impl Error for QuboError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let msgs = [
+            QuboError::EmptyProblem.to_string(),
+            QuboError::DimensionMismatch {
+                expected: 3,
+                found: 4,
+            }
+            .to_string(),
+            QuboError::IndexOutOfBounds { index: 9, dim: 3 }.to_string(),
+            QuboError::ZeroCapacity.to_string(),
+            QuboError::NonFiniteElement { row: 0, col: 1 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "message ends with period: {m}");
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuboError>();
+    }
+}

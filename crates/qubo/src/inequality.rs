@@ -1,0 +1,221 @@
+use std::fmt;
+
+use crate::{Assignment, LinearConstraint, QuboError, QuboMatrix};
+
+/// The paper's *inequality-QUBO* form (Sec 3.2, Eq. 6):
+///
+/// ```text
+/// min E = (Σ wᵢxᵢ ≤ C) · xᵀQx
+/// ```
+///
+/// The constraint is kept as a logical gate instead of being folded
+/// into the objective, so the search space stays `2ⁿ` and `Q` keeps
+/// its original (small) coefficients. For a feasible `x` the energy is
+/// `xᵀQx` (negative for profitable selections when `Q` encodes
+/// negated profits); for an infeasible `x` the energy is defined as 0,
+/// making `E` non-positive at any feasible optimum.
+///
+/// # Example
+///
+/// ```
+/// use hycim_qubo::{Assignment, InequalityQubo, LinearConstraint, QuboMatrix};
+///
+/// # fn main() -> Result<(), hycim_qubo::QuboError> {
+/// let mut q = QuboMatrix::zeros(2);
+/// q.set(0, 0, -5.0);
+/// q.set(1, 1, -4.0);
+/// let iq = InequalityQubo::new(q, LinearConstraint::new(vec![3, 3], 3)?)?;
+/// assert_eq!(iq.energy(&Assignment::from_bits([true, false])), -5.0);
+/// // Selecting both items violates the constraint → gated to 0.
+/// assert_eq!(iq.energy(&Assignment::from_bits([true, true])), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InequalityQubo {
+    objective: QuboMatrix,
+    constraint: LinearConstraint,
+}
+
+impl InequalityQubo {
+    /// Combines an objective matrix and an inequality constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuboError::DimensionMismatch`] if the matrix dimension
+    /// and constraint dimension differ, or [`QuboError::EmptyProblem`]
+    /// for zero variables.
+    pub fn new(objective: QuboMatrix, constraint: LinearConstraint) -> Result<Self, QuboError> {
+        if objective.dim() == 0 {
+            return Err(QuboError::EmptyProblem);
+        }
+        if objective.dim() != constraint.dim() {
+            return Err(QuboError::DimensionMismatch {
+                expected: objective.dim(),
+                found: constraint.dim(),
+            });
+        }
+        Ok(Self {
+            objective,
+            constraint,
+        })
+    }
+
+    /// Number of variables (the paper's `n`; the search space is `2ⁿ`).
+    pub fn dim(&self) -> usize {
+        self.objective.dim()
+    }
+
+    /// The objective matrix `Q`.
+    pub fn objective(&self) -> &QuboMatrix {
+        &self.objective
+    }
+
+    /// The inequality constraint.
+    pub fn constraint(&self) -> &LinearConstraint {
+        &self.constraint
+    }
+
+    /// Gated energy `E = (Σwᵢxᵢ ≤ C) · xᵀQx` (paper Eq. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn energy(&self, x: &Assignment) -> f64 {
+        if self.constraint.is_satisfied(x) {
+            self.objective.energy(x)
+        } else {
+            0.0
+        }
+    }
+
+    /// Raw objective energy `xᵀQx` without the feasibility gate.
+    ///
+    /// This is what the CiM crossbar computes once the inequality
+    /// filter has admitted the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn objective_energy(&self, x: &Assignment) -> f64 {
+        self.objective.energy(x)
+    }
+
+    /// Whether a configuration passes the inequality filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn is_feasible(&self, x: &Assignment) -> bool {
+        self.constraint.is_satisfied(x)
+    }
+
+    /// Exhaustively finds the minimum gated energy and its
+    /// configuration. Exponential; for tests and tiny demos only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.dim() > 25` (would enumerate > 33M states).
+    pub fn brute_force_minimum(&self) -> (Assignment, f64) {
+        let n = self.dim();
+        assert!(n <= 25, "brute force limited to 25 variables, got {n}");
+        let mut best_x = Assignment::zeros(n);
+        let mut best_e = self.energy(&best_x);
+        for bits in 1u64..(1u64 << n) {
+            let x = Assignment::from_bits((0..n).map(|i| bits >> i & 1 == 1));
+            let e = self.energy(&x);
+            if e < best_e {
+                best_e = e;
+                best_x = x;
+            }
+        }
+        (best_x, best_e)
+    }
+}
+
+impl fmt::Display for InequalityQubo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "InequalityQubo(n={}, {}, (Q)MAX={:.1})",
+            self.dim(),
+            self.constraint,
+            self.objective.max_abs_element()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worked example of paper Fig. 7(e): a 3-item QKP with
+    /// Q = [[10,3,7],[3,6,2],[7,2,8]] (profits; negated for
+    /// minimization) and the Fig. 5(f) constraint 4x₁+7x₂+2x₃ ≤ 9.
+    fn fig7e() -> InequalityQubo {
+        let mut q = QuboMatrix::zeros(3);
+        q.set(0, 0, -10.0);
+        q.set(1, 1, -6.0);
+        q.set(2, 2, -8.0);
+        // Off-diagonal profits p_ij appear twice in Σ p_ij x_i x_j (p_ij = p_ji).
+        q.set(0, 1, -2.0 * 3.0);
+        q.set(0, 2, -2.0 * 7.0);
+        q.set(1, 2, -2.0 * 2.0);
+        let c = LinearConstraint::new(vec![4, 7, 2], 9).unwrap();
+        InequalityQubo::new(q, c).unwrap()
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let q = QuboMatrix::zeros(3);
+        let c = LinearConstraint::new(vec![1, 2], 3).unwrap();
+        assert!(matches!(
+            InequalityQubo::new(q, c),
+            Err(QuboError::DimensionMismatch {
+                expected: 3,
+                found: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_problem_rejected() {
+        let q = QuboMatrix::zeros(0);
+        let c = LinearConstraint::new(vec![1], 1).unwrap();
+        assert!(matches!(
+            InequalityQubo::new(q, c),
+            Err(QuboError::EmptyProblem)
+        ));
+    }
+
+    #[test]
+    fn gate_zeroes_infeasible_energy() {
+        let iq = fig7e();
+        let infeasible = Assignment::from_bits([true, true, false]); // 11 > 9
+        assert_eq!(iq.energy(&infeasible), 0.0);
+        // But the raw objective is still very negative.
+        assert!(iq.objective_energy(&infeasible) < 0.0);
+    }
+
+    #[test]
+    fn fig7e_optimum_is_items_0_and_2() {
+        // Selecting items 0 and 2: profit 10 + 8 + 2·7 = 32 → E = −32,
+        // matching the ≈ −30 optimum of paper Fig. 7(f).
+        let iq = fig7e();
+        let (x, e) = iq.brute_force_minimum();
+        assert_eq!(x, Assignment::from_bits([true, false, true]));
+        assert_eq!(e, -32.0);
+    }
+
+    #[test]
+    fn energy_is_never_positive_at_optimum() {
+        let iq = fig7e();
+        let (_, e) = iq.brute_force_minimum();
+        assert!(e <= 0.0);
+    }
+
+    #[test]
+    fn display_contains_dim() {
+        assert!(fig7e().to_string().contains("n=3"));
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests for the QUBO algebra invariants.
+
+use hycim_qubo::dqubo::{AuxEncoding, DquboForm, PenaltyWeights};
+use hycim_qubo::quant::QuantizedMatrix;
+use hycim_qubo::{Assignment, InequalityQubo, IsingModel, LinearConstraint, QuboMatrix};
+use proptest::prelude::*;
+
+fn arb_qubo(max_n: usize) -> impl Strategy<Value = QuboMatrix> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(-100.0..100.0f64, n * (n + 1) / 2).prop_map(move |vals| {
+            let mut q = QuboMatrix::zeros(n);
+            let mut it = vals.into_iter();
+            for i in 0..n {
+                for j in i..n {
+                    q.set(i, j, it.next().unwrap());
+                }
+            }
+            q
+        })
+    })
+}
+
+fn arb_assignment(n: usize) -> impl Strategy<Value = Assignment> {
+    proptest::collection::vec(any::<bool>(), n).prop_map(Assignment::from_bits)
+}
+
+fn arb_constraint(n: usize) -> impl Strategy<Value = LinearConstraint> {
+    (
+        proptest::collection::vec(1u64..20, n),
+        1u64..40,
+    )
+        .prop_map(|(w, c)| LinearConstraint::new(w, c).expect("valid constraint"))
+}
+
+proptest! {
+    /// QUBO → Ising conversion is exact for every configuration.
+    #[test]
+    fn qubo_ising_energy_agreement(q in arb_qubo(10), seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let ising = IsingModel::from_qubo(&q);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Assignment::random(q.dim(), &mut rng);
+        prop_assert!((q.energy(&x) - ising.energy_of_assignment(&x)).abs() < 1e-6);
+    }
+
+    /// Ising → QUBO → energy roundtrip is exact up to the offset.
+    #[test]
+    fn ising_roundtrip(q in arb_qubo(8), seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let ising = IsingModel::from_qubo(&q);
+        let (q2, constant) = ising.to_qubo().expect("nonempty");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Assignment::random(q.dim(), &mut rng);
+        prop_assert!((q.energy(&x) - (q2.energy(&x) + constant)).abs() < 1e-6);
+    }
+
+    /// Incremental flip delta always matches a full recompute.
+    #[test]
+    fn flip_delta_consistency(q in arb_qubo(12), seed in any::<u64>(), pick in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Assignment::random(q.dim(), &mut rng);
+        let i = (pick as usize) % q.dim();
+        let before = q.energy(&x);
+        let delta = q.flip_delta(&x, i);
+        x.flip(i);
+        prop_assert!((q.energy(&x) - before - delta).abs() < 1e-6);
+    }
+
+    /// Energy is invariant under the (i,j)/(j,i) fold: building from
+    /// transposed triplets gives the same energies.
+    #[test]
+    fn triplet_fold_symmetry(q in arb_qubo(8), seed in any::<u64>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let transposed: Vec<_> = q.iter_nonzero().map(|(i, j, v)| (j, i, v)).collect();
+        let q2 = QuboMatrix::from_triplets(q.dim(), transposed).expect("valid");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = Assignment::random(q.dim(), &mut rng);
+        prop_assert!((q.energy(&x) - q2.energy(&x)).abs() < 1e-9);
+    }
+
+    /// The inequality-QUBO gate: feasible energies equal the raw
+    /// objective, infeasible energies are exactly zero.
+    #[test]
+    fn inequality_gate((q, c, x) in (1usize..10).prop_flat_map(|n| {
+        (arb_qubo_fixed(n), arb_constraint(n), arb_assignment(n))
+    })) {
+        let iq = InequalityQubo::new(q.clone(), c.clone()).expect("dims match");
+        if c.is_satisfied(&x) {
+            prop_assert_eq!(iq.energy(&x), q.energy(&x));
+        } else {
+            prop_assert_eq!(iq.energy(&x), 0.0);
+        }
+    }
+
+    /// D-QUBO one-hot: lifting any *feasible nonempty* configuration
+    /// yields zero penalty; lifting any infeasible one cannot.
+    #[test]
+    fn dqubo_lift_penalty((q, c, x) in (1usize..7).prop_flat_map(|n| {
+        (arb_qubo_fixed(n), arb_constraint(n), arb_assignment(n))
+    })) {
+        let d = DquboForm::transform(&q, &c, PenaltyWeights::PAPER, AuxEncoding::OneHot)
+            .expect("dims match");
+        let z = d.lift(&x);
+        let p = d.penalty(&z, &q);
+        let load = c.load(&x);
+        if load >= 1 && load <= c.capacity() {
+            prop_assert!(p.abs() < 1e-6, "feasible lift penalty {p}");
+        } else {
+            prop_assert!(p > 0.0, "infeasible/empty lift penalty {p}");
+        }
+    }
+
+    /// Binary-slack D-QUBO dimension is logarithmic in C while one-hot
+    /// is linear — and both penalize the same infeasible configurations.
+    #[test]
+    fn dqubo_encodings_agree_on_feasibility((q, c, x) in (1usize..6).prop_flat_map(|n| {
+        (arb_qubo_fixed(n), arb_constraint(n), arb_assignment(n))
+    })) {
+        let one_hot = DquboForm::transform(&q, &c, PenaltyWeights::PAPER, AuxEncoding::OneHot)
+            .expect("one-hot");
+        let binary = DquboForm::transform(&q, &c, PenaltyWeights::PAPER, AuxEncoding::Binary)
+            .expect("binary");
+        prop_assert!(binary.num_aux() <= one_hot.num_aux());
+        let pb = binary.penalty(&binary.lift(&x), &q);
+        if c.is_satisfied(&x) {
+            prop_assert!(pb.abs() < 1e-6);
+        } else {
+            prop_assert!(pb > 0.0);
+        }
+    }
+
+    /// Quantization error of every coefficient stays within half a level.
+    #[test]
+    fn quantization_error_bound(q in arb_qubo(8), bits in 2u32..12) {
+        let quant = QuantizedMatrix::quantize(&q, bits);
+        let back = quant.dequantize();
+        for (i, j, v) in q.iter_nonzero() {
+            prop_assert!((back.get(i, j) - v).abs() <= quant.max_error() + 1e-9);
+        }
+    }
+
+    /// Feasible fraction from DP matches exhaustive enumeration.
+    #[test]
+    fn feasible_fraction_matches_enumeration(c in (1usize..10).prop_flat_map(arb_constraint)) {
+        let n = c.dim();
+        let mut feasible = 0u64;
+        for bits in 0u64..(1 << n) {
+            let x = Assignment::from_bits((0..n).map(|i| bits >> i & 1 == 1));
+            if c.is_satisfied(&x) {
+                feasible += 1;
+            }
+        }
+        let expected = feasible as f64 / (1u64 << n) as f64;
+        prop_assert!((c.feasible_fraction() - expected).abs() < 1e-9);
+    }
+}
+
+fn arb_qubo_fixed(n: usize) -> impl Strategy<Value = QuboMatrix> {
+    proptest::collection::vec(-100.0..100.0f64, n * (n + 1) / 2).prop_map(move |vals| {
+        let mut q = QuboMatrix::zeros(n);
+        let mut it = vals.into_iter();
+        for i in 0..n {
+            for j in i..n {
+                q.set(i, j, it.next().unwrap());
+            }
+        }
+        q
+    })
+}

@@ -1,0 +1,71 @@
+//! # HyCiM — hybrid computing-in-memory QUBO solver
+//!
+//! A full reproduction of *HyCiM: A Hybrid Computing-in-Memory QUBO
+//! Solver for General Combinatorial Optimization Problems with
+//! Inequality Constraints* (Qian et al., DAC 2024) as a Rust
+//! workspace. This crate is the facade: it re-exports the public API
+//! of every subsystem.
+//!
+//! ## Layout
+//!
+//! | Module | Source crate | Contents |
+//! |---|---|---|
+//! | [`qubo`] | `hycim-qubo` | QUBO/Ising algebra, inequality-QUBO form, D-QUBO penalty transformation, quantization |
+//! | [`cop`] | `hycim-cop` | QKP instances, CNAM generator/parser, knapsack & bin packing, reference solvers |
+//! | [`fefet`] | `hycim-fefet` | Multi-level FeFET device models, Preisach-style programming, 1FeFET1R cells |
+//! | [`cim`] | `hycim-cim` | Inequality filter, CiM crossbar, ADC, matchline, area & energy models |
+//! | [`anneal`] | `hycim-anneal` | Simulated-annealing engine, schedules, traces |
+//! | [`core`] | `hycim-core` | The HyCiM solver framework, D-QUBO baseline, success-rate harness |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hycim::core::{HyCimConfig, HyCimSolver};
+//! use hycim::cop::generator::QkpGenerator;
+//!
+//! # fn main() -> Result<(), hycim::core::HycimError> {
+//! // A 100-item quadratic knapsack instance in the benchmark style.
+//! let instance = QkpGenerator::new(100, 0.25).generate(7);
+//! let solver = HyCimSolver::new(
+//!     &instance,
+//!     &HyCimConfig::default().with_sweeps(100),
+//!     1, // hardware seed ("chip instance")
+//! )?;
+//! let solution = solver.solve(42);
+//! assert!(solution.feasible);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hycim_anneal as anneal;
+pub use hycim_cim as cim;
+pub use hycim_cop as cop;
+pub use hycim_core as core;
+pub use hycim_fefet as fefet;
+pub use hycim_qubo as qubo;
+
+/// Convenient single-import surface for the most used types.
+///
+/// ```
+/// use hycim::prelude::*;
+///
+/// let x = Assignment::from_bits([true, false]);
+/// assert_eq!(x.ones(), 1);
+/// ```
+pub mod prelude {
+    pub use hycim_anneal::{Annealer, AnnealTrace, GeometricSchedule, Schedule};
+    pub use hycim_cim::filter::{FilterConfig, InequalityFilter};
+    pub use hycim_cim::Fidelity;
+    pub use hycim_cop::generator::QkpGenerator;
+    pub use hycim_cop::QkpInstance;
+    pub use hycim_core::{
+        DquboConfig, DquboSolver, HyCimConfig, HyCimSolver, HycimError, Solution,
+        SoftwareSolver,
+    };
+    pub use hycim_qubo::{
+        Assignment, InequalityQubo, IsingModel, LinearConstraint, QuboMatrix,
+    };
+}

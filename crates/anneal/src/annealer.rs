@@ -256,8 +256,8 @@ mod tests {
             let (_, opt) = solvers::exhaustive(&inst).unwrap();
             let iq = inst.to_inequality_qubo().unwrap();
             let annealer = Annealer::new(
-                GeometricSchedule::for_energy_scale(100.0, 1000),
-                1000,
+                GeometricSchedule::for_energy_scale(100.0, 4000),
+                4000,
             )
             .without_trace();
             let mut rng = StdRng::seed_from_u64(seed);

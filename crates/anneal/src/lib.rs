@@ -19,6 +19,12 @@
 //!   ([`GeometricSchedule`], [`LinearSchedule`], [`ConstantSchedule`]).
 //! * [`Annealer`] — the Metropolis loop, producing an [`AnnealTrace`]
 //!   (the energy-evolution curves of paper Fig. 7(f)).
+//! * [`ensemble`] — multi-start ensembles over independent seeds (the
+//!   paper's Monte-Carlo protocol draws 1000 initial states per
+//!   instance, Sec 4.3).
+//! * [`tempering`] — parallel tempering / replica exchange, an
+//!   algorithmic extension beyond the paper's plain SA for the harder
+//!   instances.
 //!
 //! # Example
 //!

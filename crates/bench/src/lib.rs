@@ -1,5 +1,30 @@
-//! Shared harness utilities for the figure/table regeneration binaries
+//! Benchmark harness for the HyCiM reproduction: shared utilities for
+//! the figure/table regeneration binaries and the criterion benches
 //! (see DESIGN.md §4 for the experiment index).
+//!
+//! The crate has three kinds of targets:
+//!
+//! * **Report binaries** (`src/bin/fig5_filter_waveforms.rs` …
+//!   `table1_summary.rs`, `ablation_report.rs`, `energy_report.rs`) —
+//!   each regenerates one figure or table of the paper as text output.
+//!   All accept `--key value` flags parsed by [`Args`]; defaults are
+//!   shape-preserving reductions of the paper's cluster-scale
+//!   protocol (e.g. `fig10_success` defaults to 5 Monte-Carlo initial
+//!   states instead of 1000).
+//! * **Criterion benches** (`benches/solver_benches.rs`,
+//!   `benches/ablation_benches.rs`) — throughput of the hot paths
+//!   (filter evaluation, crossbar VMV, SA iterations, COP→QUBO
+//!   transformations) and of the ablation variants.
+//! * **This library** — the tiny dependency-free CLI parser and
+//!   reporting helpers the binaries share, so each `fig*` binary
+//!   stays a self-contained experiment script.
+//!
+//! Run everything from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p hycim-bench --bin fig10_success -- --sweeps 1000
+//! cargo bench -p hycim-bench --bench solver_benches
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -208,9 +208,17 @@ mod tests {
 
     #[test]
     fn fast_path_agrees_with_full_path() {
+        // Noise off: at the 1-unit analog margins in `constraints()` a
+        // badly-offset comparator sample can legitimately misclassify
+        // (cf. Fig. 8 error rates), and this test asserts the *exact*
+        // equivalence of the two evaluation paths, not noise
+        // robustness — so it must hold for every seed.
+        let config = FilterConfig::default()
+            .with_variation(hycim_fefet::VariationModel::none())
+            .with_comparator(crate::filter::ComparatorConfig::ideal());
         let mut rng = StdRng::seed_from_u64(2);
         let cs = constraints();
-        let bank = FilterBank::build(&cs, &FilterConfig::default(), &mut rng).unwrap();
+        let bank = FilterBank::build(&cs, &config, &mut rng).unwrap();
         for bits in 0u32..16 {
             let x = Assignment::from_bits((0..4).map(|i| bits >> i & 1 == 1));
             let loads: Vec<u64> = cs.iter().map(|c| c.load(&x)).collect();

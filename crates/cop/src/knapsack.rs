@@ -99,6 +99,9 @@ impl Knapsack {
 
     /// Exact optimum via O(n·C) dynamic programming with solution
     /// reconstruction.
+    // Item index `i` couples `take`, `weights`, and `profits`; the
+    // indexed form is the DP recurrence as written.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve_exact(&self) -> (Assignment, u64) {
         let n = self.num_items();
         let cap = self.capacity as usize;

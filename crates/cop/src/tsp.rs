@@ -180,7 +180,7 @@ impl Tsp {
     pub fn decode(&self, x: &Assignment) -> Option<Vec<usize>> {
         let n = self.n;
         let mut tour = vec![usize::MAX; n];
-        for t in 0..n {
+        for (t, slot) in tour.iter_mut().enumerate() {
             let mut found = None;
             for c in 0..n {
                 if x.get(self.var(c, t)) {
@@ -190,7 +190,7 @@ impl Tsp {
                     found = Some(c);
                 }
             }
-            tour[t] = found?;
+            *slot = found?;
         }
         let mut seen = vec![false; n];
         for &c in &tour {

@@ -18,7 +18,10 @@
 //!
 //! Device-to-device and cycle-to-cycle variability (the spread across
 //! the 60 measured devices in Fig. 2(b)) is modeled by
-//! [`VariationModel`] and propagates into every read. The 1FeFET1R
+//! [`VariationModel`] and propagates into every read. Threshold-voltage
+//! drift over time — the stored levels slowly relaxing toward each
+//! other — is modeled separately in [`retention`], bounding how long a
+//! programmed constraint stays accurate without a refresh. The 1FeFET1R
 //! current clamp the paper uses to regulate ON current (Fig. 4(a,b),
 //! \[24, 25\]) is modeled by [`FefetCell`].
 //!

@@ -143,6 +143,9 @@ impl DquboForm {
 
     /// One-hot encoding per the paper:
     /// `p₁ = α(1 − Σyₖ)² + β(Σwᵢxᵢ − Σk·yₖ)²`, `k = 1..=C`.
+    // Indices couple `w` to the (i, j) matrix entries being written;
+    // the indexed form mirrors the β(A − B)² expansion as written.
+    #[allow(clippy::needless_range_loop)]
     fn transform_one_hot(
         objective: &QuboMatrix,
         constraint: &LinearConstraint,

@@ -363,6 +363,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // deliberate brute-force double loop
     fn energy_matches_brute_force_definition() {
         let q = random_qubo(6, 1);
         let mut rng = StdRng::seed_from_u64(2);

@@ -1,0 +1,48 @@
+//! Workspace smoke test: the facade's re-exports must keep resolving
+//! to the sub-crate types, so `hycim::...` paths cannot silently drift
+//! from the crates they forward to.
+
+use hycim::prelude::*;
+
+/// Every facade module path re-exports the matching sub-crate: a type
+/// reached through `hycim::<module>` must be the *same type* as the
+/// one in the underlying `hycim_*` crate.
+#[test]
+fn facade_modules_alias_subcrates() {
+    // Same-type checks (not just name collisions): an identity
+    // function pins each pair of paths to one type.
+    fn same<T>(_: fn(T) -> T) {}
+    same::<hycim::qubo::Assignment>(std::convert::identity::<hycim_qubo::Assignment>);
+    same::<hycim::qubo::QuboMatrix>(std::convert::identity::<hycim_qubo::QuboMatrix>);
+    same::<hycim::cop::QkpInstance>(std::convert::identity::<hycim_cop::QkpInstance>);
+    same::<hycim::fefet::FefetCell>(std::convert::identity::<hycim_fefet::FefetCell>);
+    same::<hycim::cim::Fidelity>(std::convert::identity::<hycim_cim::Fidelity>);
+    same::<hycim::anneal::AnnealTrace>(std::convert::identity::<hycim_anneal::AnnealTrace>);
+    same::<hycim::core::Solution>(std::convert::identity::<hycim_core::Solution>);
+}
+
+/// The prelude surface named in the facade docs resolves and is
+/// usable end-to-end: build a tiny instance, solve it, check the
+/// solution through prelude types only.
+#[test]
+fn prelude_surface_is_usable() {
+    let instance = QkpGenerator::new(12, 0.5).generate(3);
+    let solver = HyCimSolver::new(&instance, &HyCimConfig::default().with_sweeps(30), 1)
+        .expect("small instance maps onto the paper-sized hardware");
+    let solution: Solution = solver.solve(7);
+    assert!(solution.feasible);
+    assert_eq!(solution.assignment.len(), 12);
+
+    let x = Assignment::from_bits([true, false]);
+    assert_eq!(x.ones(), 1);
+}
+
+/// Deep module paths advertised in the facade's module table stay
+/// reachable (`hycim::<module>::<submodule>::Type`).
+#[test]
+fn nested_module_paths_resolve() {
+    let _ = hycim::cop::generator::QkpGenerator::new(5, 0.5);
+    let _ = hycim::qubo::dqubo::PenaltyWeights::PAPER;
+    let _: hycim::cim::filter::FilterConfig = FilterConfig::default();
+    let _: hycim::core::HycimError;
+}

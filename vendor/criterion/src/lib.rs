@@ -1,0 +1,268 @@
+//! Offline shim of the `criterion` API surface used by the HyCiM
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! vendors the subset of criterion the bench targets rely on:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`]
+//! with `iter` / `iter_batched`, [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — median of wall-clock samples,
+//! printed as one line per benchmark — with none of upstream's
+//! statistics, plots, or baselines. When invoked by `cargo test`
+//! (which passes `--test` to `harness = false` targets), every
+//! benchmark body runs exactly once so the suite stays fast while the
+//! bench code is still exercised.
+//!
+//! ```
+//! use criterion::{Bencher, BenchmarkId, Criterion};
+//!
+//! let mut c = Criterion::test_mode();
+//! let mut group = c.benchmark_group("demo");
+//! group.sample_size(10);
+//! group.bench_function(BenchmarkId::from_parameter(32), |b: &mut Bencher| {
+//!     b.iter(|| std::hint::black_box(32u64.pow(2)))
+//! });
+//! group.finish();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working alongside
+/// `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The shim accepts every
+/// upstream variant and treats them identically (one setup per
+/// measured invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Inputs of unknown size.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new<S: std::fmt::Display, P: std::fmt::Display>(name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Drives the timing loop of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Measured sample durations, one per executed sample.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.times.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.times.push(start.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.times.is_empty() {
+            return Duration::ZERO;
+        }
+        self.times.sort();
+        self.times[self.times.len() / 2]
+    }
+}
+
+/// The benchmark manager: entry point of every bench target.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    /// Reads the process arguments the way upstream does: the presence
+    /// of `--test` (passed by `cargo test` to `harness = false`
+    /// targets) switches to one-shot smoke execution.
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            test_mode,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// A criterion that runs every benchmark exactly once (used by
+    /// `cargo test` and the shim's own doctests).
+    pub fn test_mode() -> Self {
+        Self {
+            test_mode: true,
+            sample_size: 20,
+        }
+    }
+
+    /// Upstream compatibility hook; argument handling already happened
+    /// in [`Criterion::default`].
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = if self.test_mode { 1 } else { self.sample_size };
+        run_bench(&id.id, samples, f);
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size.unwrap_or(self.criterion.sample_size)
+        };
+        run_bench(&format!("{}/{}", self.name, id.id), samples, f);
+        self
+    }
+
+    /// Ends the group (upstream compatibility; reporting is per-bench).
+    pub fn finish(&mut self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples,
+        times: Vec::with_capacity(samples),
+    };
+    f(&mut bencher);
+    let executed = bencher.times.len();
+    let median = bencher.median();
+    println!("bench: {label:<50} median {median:>12.3?} ({executed} samples)");
+}
+
+/// Declares a group function that runs each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` of a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_batched_iteration_run() {
+        let mut c = Criterion::test_mode();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        let mut runs = 0usize;
+        group.bench_function("iter", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_function(BenchmarkId::new("batched", 4), |b| {
+            b.iter_batched(|| vec![0u8; 4], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.bench_function("counts", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 1, "test mode runs each body exactly once");
+    }
+}

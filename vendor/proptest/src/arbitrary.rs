@@ -1,0 +1,62 @@
+//! `any::<T>()` — the canonical whole-domain strategy for a type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.random()
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.random()
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    /// Uniform over a wide symmetric interval. Upstream proptest also
+    /// emits non-finite values; the workspace's properties only need
+    /// finite coverage.
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.random_range(-1.0e12..1.0e12)
+    }
+}
+
+impl Arbitrary for f32 {
+    /// See the `f64` impl: finite, wide, symmetric.
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.random_range(-1.0e6f32..1.0e6)
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy producing arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}

@@ -1,0 +1,115 @@
+//! Offline shim of the `proptest` API surface used by the HyCiM
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! vendors the subset of proptest the property suites rely on:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`)
+//! * [`Strategy`](strategy::Strategy) with `prop_map` /
+//!   `prop_flat_map`, range and tuple strategies
+//! * [`any`](arbitrary::any), [`collection::vec`]
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`]
+//!
+//! Semantics versus upstream: generation is purely random (seeded
+//! deterministically from the test name and case index) and there is
+//! **no shrinking** — a failing case panics with the standard assert
+//! message, and re-running reproduces it exactly.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(16))]
+//!     // `#[test]` goes here in a real suite; omitted so this
+//!     // doctest can call the generated function directly.
+//!     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The exports every property test pulls in via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `ProptestConfig::cases`
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut runner_rng =
+                        $crate::test_runner::deterministic_rng(stringify!($name), case);
+                    let run_one = |rng: &mut $crate::test_runner::TestRng| {
+                        $(
+                            let $pat =
+                                $crate::strategy::Strategy::new_value(&($strategy), rng);
+                        )+
+                        $body
+                    };
+                    run_one(&mut runner_rng);
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// `assert!` under a proptest-flavored name (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under a proptest-flavored name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` under a proptest-flavored name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when the precondition does not hold.
+///
+/// Expands to an early `return` from the per-case closure, so it is
+/// only valid directly inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

@@ -1,0 +1,40 @@
+//! Per-test configuration and the deterministic case RNG.
+
+use rand::SeedableRng;
+
+/// Controls how many random cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream's 256 to keep the full
+    /// workspace suite fast; heavyweight suites override it anyway.
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The RNG strategies draw from. Seeded from the property name and the
+/// case index, so every failure is reproducible by rerunning the test.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Builds the deterministic RNG for one case of one property, seeding
+/// from `(test_name, case_index)` via FNV-1a.
+pub fn deterministic_rng(name: &str, case: u32) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes().chain(case.to_le_bytes()) {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(hash)
+}

@@ -1,0 +1,141 @@
+//! Standard and range-uniform sampling used by [`Rng`](crate::Rng).
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types with a "standard" distribution for [`Rng::random`].
+///
+/// [`Rng::random`]: crate::Rng::random
+pub trait StandardUniform: Sized {
+    /// Samples one value from the standard distribution.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardUniform for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardUniform for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+/// Range types accepted by [`Rng::random_range`].
+///
+/// [`Rng::random_range`]: crate::Rng::random_range
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Draws a uniform value in `[0, span)` by widening to `u128`
+/// (modulo bias is < 2⁻⁶⁴ for every span the workspace uses).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() as u128 & (span - 1);
+    }
+    let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+    wide % span
+}
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let unit = <$t as StandardUniform>::sample_standard(rng);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range in random_range");
+                let unit = <$t as StandardUniform>::sample_standard(rng);
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+range_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use crate::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let a = rng.random_range(-7i64..9);
+            assert!((-7..9).contains(&a));
+            let b = rng.random_range(3usize..=3);
+            assert_eq!(b, 3);
+            let c = rng.random_range(-2.5f64..2.5);
+            assert!((-2.5..2.5).contains(&c));
+            let d: f64 = rng.random();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn random_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let heads = (0..20_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((9_000..11_000).contains(&heads), "heads={heads}");
+        assert!((0..1000).all(|_| !rng.random_bool(0.0)));
+        assert!((0..1000).all(|_| rng.random_bool(1.0)));
+    }
+}

@@ -1,0 +1,120 @@
+//! Offline shim of the `rand` 0.9 API surface used by the HyCiM
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! vendors the minimal subset of `rand` the simulator depends on:
+//!
+//! * [`RngCore`] / [`Rng`] with `random`, `random_range`, `random_bool`
+//! * [`SeedableRng`] with `seed_from_u64` / `from_seed`
+//! * [`rngs::StdRng`] — a xoshiro256++ generator (not the upstream
+//!   ChaCha12, but a high-quality, deterministic, seedable PRNG with
+//!   the same construction semantics)
+//!
+//! Determinism contract: for a fixed seed the sequence is stable
+//! across runs and platforms, which is what the paper-reproduction
+//! harness relies on. The streams differ from upstream `rand`, so
+//! seeds are comparable only within this workspace.
+//!
+//! ```
+//! use rand::{rngs::StdRng, Rng, SeedableRng};
+//!
+//! let mut a = StdRng::seed_from_u64(7);
+//! let mut b = StdRng::seed_from_u64(7);
+//! let xs: Vec<f64> = (0..4).map(|_| a.random::<f64>()).collect();
+//! let ys: Vec<f64> = (0..4).map(|_| b.random::<f64>()).collect();
+//! assert_eq!(xs, ys);
+//! assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+//! let k = a.random_range(0..10usize);
+//! assert!(k < 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distr;
+pub mod rngs;
+
+/// Low-level source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`next_u64`]).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (uniform in `[0, 1)` for floats, uniform over all values for
+    /// integers, fair coin for `bool`).
+    fn random<T>(&mut self) -> T
+    where
+        T: distr::StandardUniform,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distr::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        // Compare 53 uniform bits against p, like upstream's
+        // Bernoulli distribution (up to rounding at the last ulp).
+        <f64 as distr::StandardUniform>::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanded via SplitMix64 —
+    /// the same construction upstream `rand` uses.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (dst, src) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *dst = src;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}

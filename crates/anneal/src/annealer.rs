@@ -84,8 +84,7 @@ impl<S: Schedule> Annealer<S> {
         );
         for iter in 0..self.iterations {
             let temperature = self.schedule.temperature(iter, self.iterations);
-            let pair = if self.swap_probability > 0.0
-                && rng.random::<f64>() < self.swap_probability
+            let pair = if self.swap_probability > 0.0 && rng.random::<f64>() < self.swap_probability
             {
                 propose_exchange(state.assignment(), rng)
             } else {
@@ -134,10 +133,7 @@ impl<S: Schedule> Annealer<S> {
 /// Picks one selected and one unselected bit for an exchange move;
 /// falls back to `None` (→ single flip) when the configuration is all
 /// zeros or all ones.
-fn propose_exchange(
-    x: &hycim_qubo::Assignment,
-    rng: &mut StdRng,
-) -> Option<(usize, usize)> {
+fn propose_exchange(x: &hycim_qubo::Assignment, rng: &mut StdRng) -> Option<(usize, usize)> {
     let n = x.len();
     let ones = x.ones();
     if ones == 0 || ones == n {
@@ -205,10 +201,7 @@ mod tests {
         let mut state = SoftwareState::new(&iq, Assignment::zeros(3));
         let trace = annealer.run(&mut state, &mut rng);
         // Energies must be monotone non-increasing at T = 0.
-        assert!(trace
-            .energies()
-            .windows(2)
-            .all(|w| w[1] <= w[0] + 1e-12));
+        assert!(trace.energies().windows(2).all(|w| w[1] <= w[0] + 1e-12));
     }
 
     #[test]
@@ -255,11 +248,8 @@ mod tests {
             let inst = QkpGenerator::new(15, 0.5).generate(seed);
             let (_, opt) = solvers::exhaustive(&inst).unwrap();
             let iq = inst.to_inequality_qubo().unwrap();
-            let annealer = Annealer::new(
-                GeometricSchedule::for_energy_scale(100.0, 4000),
-                4000,
-            )
-            .without_trace();
+            let annealer = Annealer::new(GeometricSchedule::for_energy_scale(100.0, 4000), 4000)
+                .without_trace();
             let mut rng = StdRng::seed_from_u64(seed);
             let mut state = SoftwareState::new(&iq, Assignment::zeros(15));
             let trace = annealer.run(&mut state, &mut rng);
@@ -289,8 +279,7 @@ mod tests {
 
             let mut rng = StdRng::seed_from_u64(seed);
             let annealer =
-                Annealer::new(GeometricSchedule::for_energy_scale(100.0, 800), 800)
-                    .without_trace();
+                Annealer::new(GeometricSchedule::for_energy_scale(100.0, 800), 800).without_trace();
 
             let mut hs = SoftwareState::new(&iq, Assignment::zeros(12));
             let ht = annealer.run(&mut hs, &mut rng);

@@ -5,7 +5,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::{Annealer, AnnealState, AnnealTrace, Schedule};
+use crate::{AnnealState, AnnealTrace, Annealer, Schedule};
 
 /// Outcome of an ensemble run: the best trace plus per-start results.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,8 +118,7 @@ mod tests {
         let inst = QkpGenerator::new(20, 0.5).generate(1);
         let iq = inst.to_inequality_qubo().unwrap();
         let annealer =
-            Annealer::new(GeometricSchedule::for_energy_scale(100.0, 2000), 2000)
-                .without_trace();
+            Annealer::new(GeometricSchedule::for_energy_scale(100.0, 2000), 2000).without_trace();
         let ensemble = run_ensemble(6, 3, &annealer, |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             SoftwareState::new(&iq, solvers::random_feasible(&inst, &mut rng))
@@ -128,10 +127,7 @@ mod tests {
         for t in &ensemble.traces {
             assert!(ensemble.best_energy <= t.best_energy());
         }
-        assert_eq!(
-            ensemble.best_trace().best_energy(),
-            ensemble.best_energy
-        );
+        assert_eq!(ensemble.best_trace().best_energy(), ensemble.best_energy);
     }
 
     #[test]
@@ -139,8 +135,7 @@ mod tests {
         let inst = QkpGenerator::new(15, 0.75).generate(2);
         let iq = inst.to_inequality_qubo().unwrap();
         let annealer =
-            Annealer::new(GeometricSchedule::for_energy_scale(100.0, 3000), 3000)
-                .without_trace();
+            Annealer::new(GeometricSchedule::for_energy_scale(100.0, 3000), 3000).without_trace();
         let ensemble = run_ensemble(8, 4, &annealer, |seed| {
             let mut rng = StdRng::seed_from_u64(seed);
             SoftwareState::new(&iq, solvers::random_feasible(&inst, &mut rng))

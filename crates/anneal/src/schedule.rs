@@ -33,7 +33,10 @@ impl GeometricSchedule {
     ///
     /// Panics if `t0 <= 0` or `alpha` is outside `(0, 1]`.
     pub fn new(t0: f64, alpha: f64) -> Self {
-        assert!(t0 > 0.0 && t0.is_finite(), "initial temperature must be positive");
+        assert!(
+            t0 > 0.0 && t0.is_finite(),
+            "initial temperature must be positive"
+        );
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
         Self { t0, alpha }
     }
@@ -84,7 +87,10 @@ impl LinearSchedule {
     ///
     /// Panics if `t0 <= 0`.
     pub fn new(t0: f64) -> Self {
-        assert!(t0 > 0.0 && t0.is_finite(), "initial temperature must be positive");
+        assert!(
+            t0 > 0.0 && t0.is_finite(),
+            "initial temperature must be positive"
+        );
         Self { t0 }
     }
 
@@ -121,7 +127,10 @@ impl ConstantSchedule {
     ///
     /// Panics if `t < 0` or `t` is not finite.
     pub fn new(t: f64) -> Self {
-        assert!(t >= 0.0 && t.is_finite(), "temperature must be non-negative");
+        assert!(
+            t >= 0.0 && t.is_finite(),
+            "temperature must be non-negative"
+        );
         Self { t }
     }
 }
@@ -183,7 +192,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(GeometricSchedule::new(1.0, 0.5).to_string().contains("geometric"));
+        assert!(GeometricSchedule::new(1.0, 0.5)
+            .to_string()
+            .contains("geometric"));
         assert!(LinearSchedule::new(1.0).to_string().contains("linear"));
         assert!(ConstantSchedule::new(1.0).to_string().contains("constant"));
     }

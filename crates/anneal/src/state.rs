@@ -163,9 +163,7 @@ impl AnnealState for SoftwareState {
                 weight as i64
             }
         };
-        let new_load = self.load as i64
-            + signed(self.x.get(i), w[i])
-            + signed(self.x.get(j), w[j]);
+        let new_load = self.load as i64 + signed(self.x.get(i), w[i]) + signed(self.x.get(j), w[j]);
         debug_assert!(new_load >= 0);
         if new_load as u64 > self.problem.constraint().capacity() {
             return FlipOutcome::Infeasible;
@@ -191,12 +189,7 @@ impl AnnealState for SoftwareState {
 /// Exact energy change of flipping bits `i` and `j` together:
 /// `Δᵢ + Δⱼ + Q_ij·dᵢ·dⱼ`, where `d = +1` for a 0→1 flip and `−1`
 /// otherwise (the cross-term correction of the two single-flip deltas).
-pub(crate) fn pair_delta(
-    q: &hycim_qubo::QuboMatrix,
-    x: &Assignment,
-    i: usize,
-    j: usize,
-) -> f64 {
+pub(crate) fn pair_delta(q: &hycim_qubo::QuboMatrix, x: &Assignment, i: usize, j: usize) -> f64 {
     let di = if x.get(i) { -1.0 } else { 1.0 };
     let dj = if x.get(j) { -1.0 } else { 1.0 };
     q.flip_delta(x, i) + q.flip_delta(x, j) + q.get(i, j) * di * dj

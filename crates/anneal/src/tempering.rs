@@ -120,8 +120,7 @@ where
             for _ in 0..config.steps_per_exchange {
                 let i = rng.random_range(0..n);
                 if let FlipOutcome::Feasible { delta } = state.probe_flip(i, rng) {
-                    let accept =
-                        delta <= 0.0 || rng.random::<f64>() < (-delta / t).exp();
+                    let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / t).exp();
                     if accept {
                         state.commit_flip(i, delta);
                         if state.energy() < best_energy && state.verify_best(rng) {

@@ -17,7 +17,11 @@ impl AnnealTrace {
     /// downstream crates can construct traces in tests and adapters.
     pub fn new(initial_energy: f64, initial: Assignment, record: bool) -> Self {
         Self {
-            energies: if record { vec![initial_energy] } else { Vec::new() },
+            energies: if record {
+                vec![initial_energy]
+            } else {
+                Vec::new()
+            },
             best_energy: initial_energy,
             best_assignment: initial,
             accepted: 0,

@@ -1,7 +1,7 @@
 //! Property-based tests of the annealing engine.
 
 use hycim_anneal::{
-    Annealer, AnnealState, ConstantSchedule, FlipOutcome, GeometricSchedule, LinearSchedule,
+    AnnealState, Annealer, ConstantSchedule, FlipOutcome, GeometricSchedule, LinearSchedule,
     PenaltyState, Schedule, SoftwareState,
 };
 use hycim_cop::generator::QkpGenerator;

@@ -97,13 +97,15 @@ fn bench_dqubo_encoding(c: &mut Criterion) {
     let inst = QkpGenerator::new(50, 0.5)
         .with_capacity_range(100, 400)
         .generate(4);
-    for (name, enc) in [("one_hot", AuxEncoding::OneHot), ("binary", AuxEncoding::Binary)] {
+    for (name, enc) in [
+        ("one_hot", AuxEncoding::OneHot),
+        ("binary", AuxEncoding::Binary),
+    ] {
         let config = DquboConfig::default().with_sweeps(5).with_encoding(enc);
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             let mut seed = 0u64;
             b.iter(|| {
-                let solver =
-                    hycim_core::DquboSolver::new(&inst, &config).expect("transforms");
+                let solver = hycim_core::DquboSolver::new(&inst, &config).expect("transforms");
                 seed += 1;
                 black_box(solver.solve(seed).value)
             })

@@ -21,9 +21,8 @@ fn bench_filter_eval(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     for fidelity in [Fidelity::Fast, Fidelity::DeviceAccurate] {
         let config = FilterConfig::default().with_fidelity(fidelity);
-        let filter =
-            InequalityFilter::build(inst.weights(), inst.capacity(), &config, &mut rng)
-                .expect("benchmark instance maps");
+        let filter = InequalityFilter::build(inst.weights(), inst.capacity(), &config, &mut rng)
+            .expect("benchmark instance maps");
         let x = Assignment::random_with_density(100, 0.4, &mut rng);
         group.bench_function(BenchmarkId::from_parameter(format!("{fidelity}")), |b| {
             let mut rng = StdRng::seed_from_u64(3);
@@ -65,8 +64,7 @@ fn bench_sa_iterations(c: &mut Criterion) {
                 },
                 |(mut state, mut rng)| {
                     let annealer =
-                        Annealer::new(GeometricSchedule::new(50.0, 0.999), 1000)
-                            .without_trace();
+                        Annealer::new(GeometricSchedule::new(50.0, 0.999), 1000).without_trace();
                     black_box(annealer.run(&mut state, &mut rng))
                 },
                 BatchSize::SmallInput,
@@ -115,8 +113,7 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end_solve");
     group.sample_size(10);
     let inst = QkpGenerator::new(100, 0.25).generate(10);
-    let hycim =
-        HyCimSolver::new(&inst, &HyCimConfig::default().with_sweeps(50), 1).expect("maps");
+    let hycim = HyCimSolver::new(&inst, &HyCimConfig::default().with_sweeps(50), 1).expect("maps");
     group.bench_function("hycim_50_sweeps", |b| {
         let mut seed = 0u64;
         b.iter(|| {

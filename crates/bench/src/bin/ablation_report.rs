@@ -39,8 +39,7 @@ fn main() {
             instances.iter().enumerate().collect::<Vec<_>>(),
             threads,
             |(idx, inst)| {
-                run_hycim_instance(inst, config, initials, seed + *idx as u64)
-                    .expect("mappable")
+                run_hycim_instance(inst, config, initials, seed + *idx as u64).expect("mappable")
             },
         );
         SuccessReport { instances: reports }.average_success_rate()

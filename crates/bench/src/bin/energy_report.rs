@@ -47,14 +47,8 @@ fn main() {
         let density = inst.density();
         let h_cells = (n_sel * n_sel) as f64 * density * 7.0 / 2.0;
         let load = inst.load(&solution.assignment);
-        let e_feasible = model.hycim_iteration(
-            load,
-            inst.capacity(),
-            true,
-            n_sel,
-            7,
-            h_cells as usize,
-        );
+        let e_feasible =
+            model.hycim_iteration(load, inst.capacity(), true, n_sel, 7, h_cells as usize);
         let e_infeasible = model.hycim_iteration(
             inst.capacity() + 10,
             inst.capacity(),
@@ -63,8 +57,7 @@ fn main() {
             7,
             h_cells as usize,
         );
-        let e_hycim =
-            infeasible_frac * e_infeasible + (1.0 - infeasible_frac) * e_feasible;
+        let e_hycim = infeasible_frac * e_infeasible + (1.0 - infeasible_frac) * e_feasible;
 
         // D-QUBO per-iteration: full crossbar on the (n+C)-dimension
         // matrix, every iteration.

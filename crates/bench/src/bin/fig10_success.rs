@@ -73,7 +73,10 @@ fn main() {
     let dqubo = SuccessReport {
         instances: dqubo_reports,
     };
-    println!("\n== D-QUBO baseline ({:.1}s) ==", t.elapsed().as_secs_f64());
+    println!(
+        "\n== D-QUBO baseline ({:.1}s) ==",
+        t.elapsed().as_secs_f64()
+    );
     print_report(&dqubo);
 
     println!("\n== headline comparison ==");
@@ -116,5 +119,8 @@ fn print_report(report: &SuccessReport) {
             );
         }
     }
-    println!("average success rate: {:.2}%", report.average_success_rate());
+    println!(
+        "average success rate: {:.2}%",
+        report.average_success_rate()
+    );
 }

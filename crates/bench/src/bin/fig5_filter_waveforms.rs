@@ -49,8 +49,7 @@ fn main() {
 
     // ---- Fig. 5(f): the worked 3-item inequality ---------------------
     println!("\n== Fig 5(f): inequality 4x1 + 7x2 + 2x3 <= 9 over all inputs ==");
-    let filter = InequalityFilter::build(&[4, 7, 2], 9, &config, &mut rng)
-        .expect("example filter");
+    let filter = InequalityFilter::build(&[4, 7, 2], 9, &config, &mut rng).expect("example filter");
     let replica_ml = filter
         .replica_array()
         .waveform(&Assignment::ones_vec(3), &mut rng);
@@ -58,7 +57,10 @@ fn main() {
         "replica ML: {:.4} V (encodes C = 9)",
         replica_ml[replica_ml.len() - 1]
     );
-    println!("{:<6} {:>4} {:>10} {:>12}  verdict", "x", "load", "ML (V)", "norm. ML");
+    println!(
+        "{:<6} {:>4} {:>10} {:>12}  verdict",
+        "x", "load", "ML (V)", "norm. ML"
+    );
     let mut correct = 0;
     for bits in 0u32..8 {
         let x = Assignment::from_bits((0..3).map(|i| bits >> i & 1 == 1));
@@ -79,7 +81,11 @@ fn main() {
             load,
             d.ml(),
             d.normalized_ml(),
-            if d.is_feasible() { "feasible" } else { "infeasible" },
+            if d.is_feasible() {
+                "feasible"
+            } else {
+                "infeasible"
+            },
             if ok { "" } else { "  <-- MISCLASSIFIED" }
         );
     }

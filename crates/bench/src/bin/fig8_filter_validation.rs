@@ -34,13 +34,8 @@ fn main() {
     let mut total = 0usize;
 
     for inst in &instances {
-        let filter = InequalityFilter::build(
-            inst.weights(),
-            inst.capacity(),
-            &config,
-            &mut rng,
-        )
-        .expect("benchmark weights fit the 16-row array");
+        let filter = InequalityFilter::build(inst.weights(), inst.capacity(), &config, &mut rng)
+            .expect("benchmark weights fit the 16-row array");
         let constraint = inst.constraint();
 
         // Monte-Carlo sampling until we have the quota of each class

@@ -83,12 +83,8 @@ fn main() {
     let (blo, bhi) = hycim_bench::min_max(&bit_reductions);
     let (slo, shi) = hycim_bench::min_max(&savings);
     println!("\n== summary over {} instances ==", instances.len());
-    println!(
-        "Fig 9(a): D-QUBO (Q)MAX {qlo:.2e}..{qhi:.2e}   (paper: 4.0e4..2.6e7); HyCiM = 100"
-    );
-    println!(
-        "          bit reduction {blo:.1}%..{bhi:.1}%        (paper: 56%..72%)"
-    );
+    println!("Fig 9(a): D-QUBO (Q)MAX {qlo:.2e}..{qhi:.2e}   (paper: 4.0e4..2.6e7); HyCiM = 100");
+    println!("          bit reduction {blo:.1}%..{bhi:.1}%        (paper: 56%..72%)");
     println!(
         "Fig 9(b): D-QUBO dimension {dlo:.0}..{dhi:.0}        (paper: 200..2636); HyCiM = 100"
     );
@@ -97,7 +93,5 @@ fn main() {
         dlo - 100.0,
         dhi - 100.0
     );
-    println!(
-        "Fig 9(c): hardware size saving {slo:.2}%..{shi:.2}% (paper: 88.06%..99.96%)"
-    );
+    println!("Fig 9(c): hardware size saving {slo:.2}%..{shi:.2}% (paper: 88.06%..99.96%)");
 }

@@ -79,7 +79,10 @@ impl Args {
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer"))
+            })
             .unwrap_or(default)
     }
 
@@ -87,7 +90,10 @@ impl Args {
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer"))
+            })
             .unwrap_or(default)
     }
 
@@ -95,7 +101,10 @@ impl Args {
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
         self.values
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number"))
+            })
             .unwrap_or(default)
     }
 
@@ -124,9 +133,10 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 
 /// Minimum and maximum of a slice.
 pub fn min_max(xs: &[f64]) -> (f64, f64) {
-    xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
-        (lo.min(x), hi.max(x))
-    })
+    xs.iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        })
 }
 
 /// Runs `job` for every item of `items` across `threads` worker
@@ -184,7 +194,9 @@ pub fn bar(value: f64, max: f64, width: usize) -> String {
     if max <= 0.0 {
         return String::new();
     }
-    let filled = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let filled = ((value / max) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
     "#".repeat(filled)
 }
 

@@ -77,7 +77,11 @@ impl Default for AreaModel {
 
 impl fmt::Display for AreaModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "AreaModel({} nm, cell {} F²)", self.feature_nm, self.cell_f2)
+        write!(
+            f,
+            "AreaModel({} nm, cell {} F²)",
+            self.feature_nm, self.cell_f2
+        )
     }
 }
 
@@ -158,10 +162,7 @@ mod tests {
         // Largest D-QUBO case: n=2636, 25 bits.
         let cmp = HardwareComparison::compute(&AreaModel::paper(), 100, 7, 2636, 25);
         let s = cmp.saving_percent();
-        assert!(
-            s > 99.9,
-            "high-end saving {s:.2}% below paper's 99.96%"
-        );
+        assert!(s > 99.9, "high-end saving {s:.2}% below paper's 99.96%");
         assert_eq!(cmp.search_space_reduction_log2(), 2536);
     }
 

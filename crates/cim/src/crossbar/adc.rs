@@ -102,7 +102,9 @@ impl Adc {
         } else {
             count
         };
-        let code = (noisy / lsb).round().clamp(0.0, ((1u64 << self.config.bits) - 1) as f64);
+        let code = (noisy / lsb)
+            .round()
+            .clamp(0.0, ((1u64 << self.config.bits) - 1) as f64);
         (code * lsb).round() as u64
     }
 }
@@ -164,7 +166,10 @@ mod tests {
         let adc = Adc::new(AdcConfig::new(8, 100, 2.0));
         let mut rng = StdRng::seed_from_u64(4);
         let samples: Vec<u64> = (0..100).map(|_| adc.sample_count(50.0, &mut rng)).collect();
-        assert!(samples.iter().any(|&s| s != samples[0]), "noise had no effect");
+        assert!(
+            samples.iter().any(|&s| s != samples[0]),
+            "noise had no effect"
+        );
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
         assert!((mean - 50.0).abs() < 2.0, "noise is biased: mean {mean}");
     }

@@ -66,8 +66,7 @@ impl CrossbarMapping {
         }
         let quant = QuantizedMatrix::quantize(q, bits);
         let dim = q.dim();
-        let empty_planes =
-            || vec![vec![Vec::new(); dim]; bits as usize];
+        let empty_planes = || vec![vec![Vec::new(); dim]; bits as usize];
         let mut planes = [empty_planes(), empty_planes()];
         for &(i, j, level) in quant.levels() {
             let sign = usize::from(level < 0);
@@ -116,12 +115,7 @@ impl CrossbarMapping {
 
     /// Number of programmed (1-storing) cells.
     pub fn programmed_cells(&self) -> usize {
-        self.planes
-            .iter()
-            .flatten()
-            .flatten()
-            .map(Vec::len)
-            .sum()
+        self.planes.iter().flatten().flatten().map(Vec::len).sum()
     }
 
     /// Total physical cells allocated: `n × n × M` per sign plane.
@@ -137,11 +131,7 @@ impl CrossbarMapping {
             for b in 0..self.bits {
                 for col in 0..self.dim {
                     for &row in &self.planes[sign_idx][b as usize][col] {
-                        q.add(
-                            row as usize,
-                            col,
-                            sign * ((1u64 << b) as f64) * self.scale,
-                        );
+                        q.add(row as usize, col, sign * ((1u64 << b) as f64) * self.scale);
                     }
                 }
             }

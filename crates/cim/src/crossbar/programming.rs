@@ -98,8 +98,8 @@ impl ProgrammingEngine {
         // Coarse shot: the analytic pulse for the nominal level.
         p.program_level(level, &self.spec);
         pulses += 2; // program_level = erase + program
-        // Verify/trim loop: nudge with short pulses until the *read*
-        // threshold (device Vt + offset) is inside the margin.
+                     // Verify/trim loop: nudge with short pulses until the *read*
+                     // threshold (device Vt + offset) is inside the margin.
         for _ in 0..self.max_retries {
             let read_vt = p.threshold_voltage() + vt_offset;
             let err = read_vt - target;
@@ -184,9 +184,7 @@ mod tests {
         // an offset beyond the margin so trimming must engage.
         let offset = engine.verify_margin * 1.5;
         let (pulses_ideal, _) = engine.program_cell(3, 0.0, &mut rng).unwrap();
-        let (pulses_off, err) = engine
-            .program_cell(3, offset, &mut rng)
-            .expect("trimmable");
+        let (pulses_off, err) = engine.program_cell(3, offset, &mut rng).expect("trimmable");
         assert!(pulses_off > pulses_ideal, "no trim pulses issued");
         assert!(err <= engine.verify_margin);
     }

@@ -83,12 +83,7 @@ impl EnergyModel {
 
     /// Energy of one D-QUBO SA iteration: a full crossbar computation
     /// on the expanded `(n+C)`-dimension matrix every iteration.
-    pub fn dqubo_iteration(
-        &self,
-        active_columns: usize,
-        bits: u32,
-        active_cells: usize,
-    ) -> f64 {
+    pub fn dqubo_iteration(&self, active_columns: usize, bits: u32, active_cells: usize) -> f64 {
         self.crossbar_vmv(active_columns, bits, active_cells) + self.sa_logic_iteration
     }
 }

@@ -55,7 +55,10 @@ impl fmt::Display for CimError {
                 write!(f, "capacity {capacity} exceeds replica limit {limit}")
             }
             CimError::DimensionMismatch { expected, found } => {
-                write!(f, "dimension mismatch: array has {expected} columns, input has {found}")
+                write!(
+                    f,
+                    "dimension mismatch: array has {expected} columns, input has {found}"
+                )
             }
             CimError::MatrixTooLarge { dim, limit } => {
                 write!(f, "matrix dimension {dim} exceeds crossbar limit {limit}")

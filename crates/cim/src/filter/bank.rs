@@ -140,11 +140,7 @@ impl FilterBank {
     /// Panics if `x.len() != self.dim()`.
     pub fn classify<R: Rng + ?Sized>(&self, x: &Assignment, rng: &mut R) -> BankDecision {
         BankDecision {
-            decisions: self
-                .filters
-                .iter()
-                .map(|f| f.classify(x, rng))
-                .collect(),
+            decisions: self.filters.iter().map(|f| f.classify(x, rng)).collect(),
         }
     }
 
@@ -169,7 +165,12 @@ impl FilterBank {
 
 impl fmt::Display for FilterBank {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "FilterBank({} constraints, n={})", self.len(), self.dim())
+        write!(
+            f,
+            "FilterBank({} constraints, n={})",
+            self.len(),
+            self.dim()
+        )
     }
 }
 
@@ -250,8 +251,7 @@ mod tests {
     #[test]
     fn display_shows_count() {
         let mut rng = StdRng::seed_from_u64(4);
-        let bank = FilterBank::build(&constraints(), &FilterConfig::default(), &mut rng)
-            .unwrap();
+        let bank = FilterBank::build(&constraints(), &FilterConfig::default(), &mut rng).unwrap();
         assert!(bank.to_string().contains("2 constraints"));
     }
 }

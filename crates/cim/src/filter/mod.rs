@@ -327,7 +327,10 @@ mod tests {
                 .map(|(w, _)| w)
                 .sum::<u64>();
             assert_eq!(filter.classify(&x, &mut rng).is_feasible(), load <= 9);
-            assert_eq!(filter.classify_load(load, &mut rng).is_feasible(), load <= 9);
+            assert_eq!(
+                filter.classify_load(load, &mut rng).is_feasible(),
+                load <= 9
+            );
         }
     }
 

@@ -52,7 +52,11 @@ impl LinearitySweep {
             .zip(&self.mean_current)
             .map(|(&c, &y)| (y - (slope * c as f64 + intercept)).powi(2))
             .sum();
-        let ss_tot: f64 = self.mean_current.iter().map(|&y| (y - mean_y).powi(2)).sum();
+        let ss_tot: f64 = self
+            .mean_current
+            .iter()
+            .map(|&y| (y - mean_y).powi(2))
+            .sum();
         if ss_tot == 0.0 {
             return 1.0;
         }
@@ -88,7 +92,10 @@ pub fn measure_linearity(
     variation: &VariationModel,
     seed: u64,
 ) -> LinearitySweep {
-    assert!(max_active <= rows * cols, "cannot activate more cells than exist");
+    assert!(
+        max_active <= rows * cols,
+        "cannot activate more cells than exist"
+    );
     assert!(measurements > 0, "need at least one measurement");
     let spec = MultiLevelSpec::paper_binary();
     let vread = spec.read_voltage(1);
@@ -125,8 +132,7 @@ pub fn measure_linearity(
             samples.push(total);
         }
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         mean_current.push(mean);
         std_current.push(var.sqrt());
     }

@@ -111,7 +111,11 @@ impl Matchline {
 
 impl fmt::Display for Matchline {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Matchline({:.4} V / VDD {:.1} V)", self.voltage, self.config.vdd)
+        write!(
+            f,
+            "Matchline({:.4} V / VDD {:.1} V)",
+            self.voltage, self.config.vdd
+        )
     }
 }
 

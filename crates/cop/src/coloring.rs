@@ -45,11 +45,7 @@ impl GraphColoring {
     /// * [`CopError::EmptyInstance`] for zero nodes or zero colors.
     /// * [`CopError::SizeMismatch`] for an out-of-range or self-loop
     ///   edge.
-    pub fn new(
-        nodes: usize,
-        edges: Vec<(usize, usize)>,
-        colors: usize,
-    ) -> Result<Self, CopError> {
+    pub fn new(nodes: usize, edges: Vec<(usize, usize)>, colors: usize) -> Result<Self, CopError> {
         if nodes == 0 || colors == 0 {
             return Err(CopError::EmptyInstance);
         }
@@ -187,7 +183,13 @@ impl GraphColoring {
         for v in order {
             let mut used = vec![false; self.colors];
             for &(a, b) in &self.edges {
-                let other = if a == v { b } else if b == v { a } else { continue };
+                let other = if a == v {
+                    b
+                } else if b == v {
+                    a
+                } else {
+                    continue;
+                };
                 if color_of[other] != usize::MAX {
                     used[color_of[other]] = true;
                 }
@@ -234,10 +236,7 @@ mod tests {
         let floor = q.energy(&proper);
         for bits in 0u32..(1 << 9) {
             let x = Assignment::from_bits((0..9).map(|i| bits >> i & 1 == 1));
-            assert!(
-                q.energy(&x) >= floor - 1e-9,
-                "{x} beats a proper coloring"
-            );
+            assert!(q.energy(&x) >= floor - 1e-9, "{x} beats a proper coloring");
             if !g.is_proper_coloring(&x) {
                 assert!(q.energy(&x) > floor - 1e-9);
             }

@@ -62,7 +62,10 @@ impl fmt::Display for CopError {
                 write!(f, "parse failure at line {line}: {reason}")
             }
             CopError::TooLarge { items, limit } => {
-                write!(f, "instance with {items} items exceeds solver limit {limit}")
+                write!(
+                    f,
+                    "instance with {items} items exceeds solver limit {limit}"
+                )
             }
         }
     }
@@ -76,7 +79,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(CopError::EmptyInstance.to_string(), "instance has zero items");
+        assert_eq!(
+            CopError::EmptyInstance.to_string(),
+            "instance has zero items"
+        );
         assert!(CopError::ParseFailure {
             line: 3,
             reason: "bad token".into()

@@ -102,7 +102,9 @@ impl QkpGenerator {
     pub fn generate(&self, seed: u64) -> QkpInstance {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = self.n;
-        let weights: Vec<u64> = (0..n).map(|_| rng.random_range(1..=self.max_weight)).collect();
+        let weights: Vec<u64> = (0..n)
+            .map(|_| rng.random_range(1..=self.max_weight))
+            .collect();
         let total: u64 = weights.iter().sum();
         let max_w = *weights.iter().max().expect("n > 0");
 
@@ -189,7 +191,10 @@ mod tests {
         let inst = QkpGenerator::new(50, 1.0).generate(3);
         assert!(inst.weights().iter().all(|&w| (1..=50).contains(&w)));
         assert!(inst.item_profits().iter().all(|&p| p <= 100));
-        assert_eq!(inst.max_profit_coefficient().max(1), inst.max_profit_coefficient());
+        assert_eq!(
+            inst.max_profit_coefficient().max(1),
+            inst.max_profit_coefficient()
+        );
         assert!(inst.max_profit_coefficient() <= 100);
     }
 

@@ -44,9 +44,9 @@ pub mod generator;
 pub mod knapsack;
 pub mod maxcut;
 pub mod parser;
-pub mod spinglass;
 mod qkp;
 pub mod solvers;
+pub mod spinglass;
 pub mod tsp;
 
 pub use error::CopError;

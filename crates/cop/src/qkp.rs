@@ -53,11 +53,7 @@ impl QkpInstance {
     /// * [`CopError::SizeMismatch`] if profit and weight counts differ.
     /// * [`CopError::ZeroCapacity`] if `capacity == 0`.
     /// * [`CopError::ZeroWeight`] if any item weight is zero.
-    pub fn new(
-        item_profits: Vec<u64>,
-        weights: Vec<u64>,
-        capacity: u64,
-    ) -> Result<Self, CopError> {
+    pub fn new(item_profits: Vec<u64>, weights: Vec<u64>, capacity: u64) -> Result<Self, CopError> {
         if item_profits.is_empty() && weights.is_empty() {
             return Err(CopError::EmptyInstance);
         }

@@ -108,7 +108,10 @@ fn marginal_profit(inst: &QkpInstance, x: &Assignment, i: usize) -> u64 {
 /// Panics if `start.len() != inst.num_items()` or `start` is
 /// infeasible.
 pub fn local_search(inst: &QkpInstance, start: &Assignment) -> Assignment {
-    assert!(inst.is_feasible(start), "local search needs a feasible start");
+    assert!(
+        inst.is_feasible(start),
+        "local search needs a feasible start"
+    );
     let n = inst.num_items();
     let mut x = start.clone();
     let mut value = inst.value(&x);

@@ -149,11 +149,7 @@ impl Tsp {
             for a in 0..n {
                 for b in 0..n {
                     if a != b {
-                        q.add(
-                            self.var(a, t),
-                            self.var(b, t_next),
-                            self.distance(a, b),
-                        );
+                        q.add(self.var(a, t), self.var(b, t_next), self.distance(a, b));
                     }
                 }
             }

@@ -19,8 +19,7 @@ fn arb_small_instance() -> impl Strategy<Value = QkpInstance> {
             .prop_map(move |(profits, weights, cap_raw, pairs)| {
                 let max_w = *weights.iter().max().expect("n >= 2");
                 let capacity = cap_raw.max(max_w);
-                let mut inst =
-                    QkpInstance::new(profits, weights, capacity).expect("valid");
+                let mut inst = QkpInstance::new(profits, weights, capacity).expect("valid");
                 let mut it = pairs.into_iter();
                 for i in 0..n {
                     for j in (i + 1)..n {

@@ -216,8 +216,7 @@ mod tests {
         for seed in 0..runs {
             let inst = QkpGenerator::new(20, 0.5).generate(seed);
             let (_, best) = solvers::best_known(&inst, 10, seed);
-            let solver =
-                DquboSolver::new(&inst, &DquboConfig::default().with_sweeps(100)).unwrap();
+            let solver = DquboSolver::new(&inst, &DquboConfig::default().with_sweeps(100)).unwrap();
             if solver.solve(seed).is_success(best) {
                 successes += 1;
             }

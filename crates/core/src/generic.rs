@@ -164,8 +164,7 @@ mod tests {
         let g = MaxCut::random(20, 0.4, 1);
         let (_, opt) = g.brute_force().unwrap();
         let iq = g.to_inequality_qubo().unwrap();
-        let solver =
-            GenericSolver::new(&iq, &HyCimConfig::default().with_sweeps(300), 1).unwrap();
+        let solver = GenericSolver::new(&iq, &HyCimConfig::default().with_sweeps(300), 1).unwrap();
         let solution = solver.solve(2);
         let cut = g.cut_value(&solution.assignment);
         assert!(
@@ -188,10 +187,8 @@ mod tests {
         q.set(0, 0, -10.0);
         q.set(2, 2, -8.0);
         q.set(0, 2, -14.0);
-        let iq =
-            InequalityQubo::new(q, LinearConstraint::new(vec![4, 7, 2], 9).unwrap()).unwrap();
-        let solver =
-            GenericSolver::new(&iq, &HyCimConfig::default().with_sweeps(60), 5).unwrap();
+        let iq = InequalityQubo::new(q, LinearConstraint::new(vec![4, 7, 2], 9).unwrap()).unwrap();
+        let solver = GenericSolver::new(&iq, &HyCimConfig::default().with_sweeps(60), 5).unwrap();
         let solution = solver.solve(6);
         assert_eq!(solution.energy, -32.0);
         assert!(iq.is_feasible(&solution.assignment));
@@ -204,10 +201,8 @@ mod tests {
             q.set(i, i, -(10.0 + i as f64));
         }
         let iq =
-            InequalityQubo::new(q, LinearConstraint::new(vec![1, 1, 1, 1], 4).unwrap())
-                .unwrap();
-        let solver =
-            GenericSolver::new(&iq, &HyCimConfig::default().with_sweeps(40), 7).unwrap();
+            InequalityQubo::new(q, LinearConstraint::new(vec![1, 1, 1, 1], 4).unwrap()).unwrap();
+        let solver = GenericSolver::new(&iq, &HyCimConfig::default().with_sweeps(40), 7).unwrap();
         let solution = solver.solve(8);
         assert!(
             (solution.reported_energy - solution.energy).abs()
@@ -221,8 +216,7 @@ mod tests {
     #[test]
     fn unmappable_problem_rejected() {
         let q = QuboMatrix::zeros(2);
-        let iq =
-            InequalityQubo::new(q, LinearConstraint::new(vec![100, 1], 50).unwrap()).unwrap();
+        let iq = InequalityQubo::new(q, LinearConstraint::new(vec![100, 1], 50).unwrap()).unwrap();
         assert!(GenericSolver::new(&iq, &HyCimConfig::default(), 1).is_err());
     }
 }

@@ -355,7 +355,10 @@ mod tests {
                     // Verify the veto was correct.
                     let mut probe = hw.assignment().clone();
                     probe.flip(i);
-                    assert!(!iq.is_feasible(&probe), "ideal filter vetoed a feasible flip");
+                    assert!(
+                        !iq.is_feasible(&probe),
+                        "ideal filter vetoed a feasible flip"
+                    );
                 }
             }
         }
@@ -413,8 +416,7 @@ mod tests {
         let form = inst
             .to_dqubo(PenaltyWeights::PAPER, AuxEncoding::OneHot)
             .unwrap();
-        let mut state =
-            DquboHardwareState::build(&form, None, 0.0, Assignment::zeros(form.dim()));
+        let mut state = DquboHardwareState::build(&form, None, 0.0, Assignment::zeros(form.dim()));
         let mut rng = StdRng::seed_from_u64(8);
         for step in 0..200 {
             let i = step % form.dim();
@@ -441,8 +443,7 @@ mod tests {
         let form = inst
             .to_dqubo(PenaltyWeights::PAPER, AuxEncoding::Binary)
             .unwrap();
-        let mut state =
-            DquboHardwareState::build(&form, None, 0.0, Assignment::zeros(form.dim()));
+        let mut state = DquboHardwareState::build(&form, None, 0.0, Assignment::zeros(form.dim()));
         let mut rng = StdRng::seed_from_u64(10);
         let before = state.energy();
         if let FlipOutcome::Feasible { delta } = state.probe_pair(0, 3, &mut rng) {

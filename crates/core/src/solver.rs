@@ -163,10 +163,7 @@ impl HyCimSolver {
         let mut rng = StdRng::seed_from_u64(seed);
         let iterations = self.config.sweeps * self.problem.dim();
         let t0 = calibrate_t0(&mut state, self.config.t0_fraction, 64, &mut rng);
-        let alpha = self
-            .config
-            .t_end_fraction
-            .powf(1.0 / iterations as f64);
+        let alpha = self.config.t_end_fraction.powf(1.0 / iterations as f64);
         let mut annealer = Annealer::new(GeometricSchedule::new(t0, alpha), iterations)
             .with_swap_probability(self.config.swap_probability);
         if !self.config.record_trace {
@@ -270,8 +267,8 @@ mod tests {
 
     #[test]
     fn hycim_solves_fig7e() {
-        let solver = HyCimSolver::new(&fig7e(), &HyCimConfig::default().with_sweeps(50), 1)
-            .unwrap();
+        let solver =
+            HyCimSolver::new(&fig7e(), &HyCimConfig::default().with_sweeps(50), 1).unwrap();
         let solution = solver.solve(2);
         assert!(solution.feasible);
         assert_eq!(solution.value, 25);
@@ -280,16 +277,16 @@ mod tests {
 
     #[test]
     fn software_solves_fig7e() {
-        let solver = SoftwareSolver::new(&fig7e(), &HyCimConfig::default().with_sweeps(50))
-            .unwrap();
+        let solver =
+            SoftwareSolver::new(&fig7e(), &HyCimConfig::default().with_sweeps(50)).unwrap();
         let solution = solver.solve(3);
         assert_eq!(solution.value, 25);
     }
 
     #[test]
     fn solutions_are_seed_deterministic() {
-        let solver = HyCimSolver::new(&fig7e(), &HyCimConfig::default().with_sweeps(20), 7)
-            .unwrap();
+        let solver =
+            HyCimSolver::new(&fig7e(), &HyCimConfig::default().with_sweeps(20), 7).unwrap();
         assert_eq!(solver.solve(11).value, solver.solve(11).value);
         assert_eq!(
             solver.solve(11).reported_energy,
@@ -302,10 +299,12 @@ mod tests {
         for seed in 0..5 {
             let inst = QkpGenerator::new(40, 0.5).generate(seed);
             let solver =
-                HyCimSolver::new(&inst, &HyCimConfig::default().with_sweeps(100), seed)
-                    .unwrap();
+                HyCimSolver::new(&inst, &HyCimConfig::default().with_sweeps(100), seed).unwrap();
             let solution = solver.solve(seed);
-            assert!(solution.feasible, "HyCiM produced infeasible at seed {seed}");
+            assert!(
+                solution.feasible,
+                "HyCiM produced infeasible at seed {seed}"
+            );
             assert!(solution.value > 0);
         }
     }

@@ -134,10 +134,7 @@ pub fn run_dqubo_instance(
 fn summarize(inst: &QkpInstance, solutions: Vec<Solution>, seed: u64) -> InstanceReport {
     let candidates: Vec<u64> = solutions.iter().map(|s| s.value).collect();
     let best = best_known_value(inst, &candidates, seed);
-    let normalized_values: Vec<f64> = solutions
-        .iter()
-        .map(|s| s.normalized_value(best))
-        .collect();
+    let normalized_values: Vec<f64> = solutions.iter().map(|s| s.normalized_value(best)).collect();
     let successes = solutions.iter().filter(|s| s.is_success(best)).count();
     let infeasible_runs = solutions.iter().filter(|s| !s.feasible).count();
     InstanceReport {
@@ -170,28 +167,22 @@ mod tests {
     #[test]
     fn hycim_report_on_small_set() {
         let inst = QkpGenerator::new(25, 0.5).generate(1);
-        let report = run_hycim_instance(
-            &inst,
-            &HyCimConfig::default().with_sweeps(150),
-            5,
-            1,
-        )
-        .unwrap();
+        let report =
+            run_hycim_instance(&inst, &HyCimConfig::default().with_sweeps(150), 5, 1).unwrap();
         assert_eq!(report.normalized_values.len(), 5);
-        assert!(report.success_rate() >= 80.0, "rate {}", report.success_rate());
+        assert!(
+            report.success_rate() >= 80.0,
+            "rate {}",
+            report.success_rate()
+        );
         assert_eq!(report.infeasible_runs, 0);
     }
 
     #[test]
     fn dqubo_report_counts_infeasible() {
         let inst = QkpGenerator::new(25, 0.5).generate(2);
-        let report = run_dqubo_instance(
-            &inst,
-            &DquboConfig::default().with_sweeps(50),
-            5,
-            2,
-        )
-        .unwrap();
+        let report =
+            run_dqubo_instance(&inst, &DquboConfig::default().with_sweeps(50), 5, 2).unwrap();
         assert_eq!(report.normalized_values.len(), 5);
         // All values within [0, ~1].
         assert!(report

@@ -100,14 +100,7 @@ pub fn render_table(rows: &[SolverRow]) -> String {
     let _ = writeln!(
         out,
         "{:<10} {:<20} {:<11} {:<10} {:<16} {:<10} {:<10} {:>8}",
-        "Reference",
-        "COP",
-        "Constraint",
-        "SS-Red.",
-        "Transformation",
-        "Hardware",
-        "Size",
-        "Succ.%"
+        "Reference", "COP", "Constraint", "SS-Red.", "Transformation", "Hardware", "Size", "Succ.%"
     );
     let _ = writeln!(out, "{}", "-".repeat(102));
     for row in rows {
@@ -121,7 +114,11 @@ pub fn render_table(rows: &[SolverRow]) -> String {
             row.reference,
             row.cop,
             row.constraint,
-            if row.search_space_reduction { "Yes" } else { "No" },
+            if row.search_space_reduction {
+                "Yes"
+            } else {
+                "No"
+            },
             row.transformation,
             row.hardware,
             row.problem_size,

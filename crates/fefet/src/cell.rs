@@ -199,8 +199,7 @@ mod tests {
         }
         let rel_spread = |xs: &[f64]| {
             let m = xs.iter().sum::<f64>() / xs.len() as f64;
-            let sd =
-                (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt();
+            let sd = (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt();
             sd / m
         };
         assert!(

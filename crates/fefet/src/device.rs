@@ -145,7 +145,9 @@ impl MultiLevelSpec {
 
     /// All read voltages `Vread_1 ..= Vread_max`, highest first.
     pub fn read_voltages(&self) -> Vec<f64> {
-        (1..=self.max_level()).map(|j| self.read_voltage(j)).collect()
+        (1..=self.max_level())
+            .map(|j| self.read_voltage(j))
+            .collect()
     }
 }
 
@@ -238,8 +240,7 @@ impl FefetDevice {
     /// Panics if the level is not supported; use
     /// [`try_program`](Self::try_program) for a fallible variant.
     pub fn program(&mut self, level: u8) {
-        self.try_program(level)
-            .expect("level within device range");
+        self.try_program(level).expect("level within device range");
     }
 
     /// Erases the device back to level 0.
@@ -414,6 +415,8 @@ mod tests {
 
     #[test]
     fn display_mentions_levels() {
-        assert!(MultiLevelSpec::paper_filter().to_string().contains("5 levels"));
+        assert!(MultiLevelSpec::paper_filter()
+            .to_string()
+            .contains("5 levels"));
     }
 }

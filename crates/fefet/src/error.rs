@@ -25,7 +25,10 @@ impl fmt::Display for DeviceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DeviceError::LevelOutOfRange { level, max_level } => {
-                write!(f, "storage level {level} exceeds device maximum {max_level}")
+                write!(
+                    f,
+                    "storage level {level} exceeds device maximum {max_level}"
+                )
             }
             DeviceError::VoltageOutOfRange { voltage, limit } => {
                 write!(f, "voltage {voltage} V exceeds safe limit {limit} V")

@@ -71,7 +71,11 @@ impl fmt::Display for WritePulse {
         write!(
             f,
             "{} pulse {:.2} V / {:.0} ns",
-            if self.is_program() { "program" } else { "erase" },
+            if self.is_program() {
+                "program"
+            } else {
+                "erase"
+            },
             self.amplitude,
             self.width_ns
         )

@@ -228,7 +228,10 @@ impl Assignment {
 
     /// Renders the configuration as a string of `'0'`/`'1'`.
     pub fn to_bit_string(&self) -> String {
-        self.bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+        self.bits
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect()
     }
 
     /// Returns a copy extended with extra zero variables.
@@ -328,14 +331,20 @@ mod tests {
     fn random_is_seed_deterministic() {
         let mut a = StdRng::seed_from_u64(42);
         let mut b = StdRng::seed_from_u64(42);
-        assert_eq!(Assignment::random(64, &mut a), Assignment::random(64, &mut b));
+        assert_eq!(
+            Assignment::random(64, &mut a),
+            Assignment::random(64, &mut b)
+        );
     }
 
     #[test]
     fn density_extremes() {
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(Assignment::random_with_density(20, 0.0, &mut rng).ones(), 0);
-        assert_eq!(Assignment::random_with_density(20, 1.0, &mut rng).ones(), 20);
+        assert_eq!(
+            Assignment::random_with_density(20, 1.0, &mut rng).ones(),
+            20
+        );
     }
 
     #[test]

@@ -411,9 +411,7 @@ mod tests {
             .map(|k| if z.get(k) { (k - n + 1) as f64 } else { 0.0 })
             .sum();
         let load = c.load(&x) as f64;
-        q.energy(&x)
-            + pw.alpha * (1.0 - sum_y).powi(2)
-            + pw.beta * (load - sum_ky).powi(2)
+        q.energy(&x) + pw.alpha * (1.0 - sum_y).powi(2) + pw.beta * (load - sum_ky).powi(2)
     }
 
     #[test]
@@ -487,8 +485,7 @@ mod tests {
             let z = Assignment::random(7, &mut rng);
             let x = z.truncated(3);
             let slack: u64 = (0..4).map(|j| if z.get(3 + j) { 1 << j } else { 0 }).sum();
-            let expected = q.energy(&x)
-                + 2.0 * ((c.load(&x) as f64) + slack as f64 - 9.0).powi(2);
+            let expected = q.energy(&x) + 2.0 * ((c.load(&x) as f64) + slack as f64 - 9.0).powi(2);
             assert!((d.energy(&z) - expected).abs() < 1e-9);
         }
     }

@@ -105,7 +105,11 @@ impl QuboMatrix {
     /// Panics if `i` or `j` is out of bounds.
     pub fn get(&self, i: usize, j: usize) -> f64 {
         let (a, b) = if i <= j { (i, j) } else { (j, i) };
-        assert!(b < self.n, "index ({i}, {j}) out of bounds for dim {}", self.n);
+        assert!(
+            b < self.n,
+            "index ({i}, {j}) out of bounds for dim {}",
+            self.n
+        );
         self.coeffs[self.tri_index(a, b)]
     }
 
@@ -116,7 +120,11 @@ impl QuboMatrix {
     /// Panics if `i` or `j` is out of bounds.
     pub fn set(&mut self, i: usize, j: usize, value: f64) {
         let (a, b) = if i <= j { (i, j) } else { (j, i) };
-        assert!(b < self.n, "index ({i}, {j}) out of bounds for dim {}", self.n);
+        assert!(
+            b < self.n,
+            "index ({i}, {j}) out of bounds for dim {}",
+            self.n
+        );
         let idx = self.tri_index(a, b);
         self.coeffs[idx] = value;
     }
@@ -128,7 +136,11 @@ impl QuboMatrix {
     /// Panics if `i` or `j` is out of bounds.
     pub fn add(&mut self, i: usize, j: usize, value: f64) {
         let (a, b) = if i <= j { (i, j) } else { (j, i) };
-        assert!(b < self.n, "index ({i}, {j}) out of bounds for dim {}", self.n);
+        assert!(
+            b < self.n,
+            "index ({i}, {j}) out of bounds for dim {}",
+            self.n
+        );
         let idx = self.tri_index(a, b);
         self.coeffs[idx] += value;
     }

@@ -25,10 +25,7 @@ fn arb_assignment(n: usize) -> impl Strategy<Value = Assignment> {
 }
 
 fn arb_constraint(n: usize) -> impl Strategy<Value = LinearConstraint> {
-    (
-        proptest::collection::vec(1u64..20, n),
-        1u64..40,
-    )
+    (proptest::collection::vec(1u64..20, n), 1u64..40)
         .prop_map(|(w, c)| LinearConstraint::new(w, c).expect("valid constraint"))
 }
 

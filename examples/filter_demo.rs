@@ -22,8 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let filter = InequalityFilter::build(&weights, capacity, &config, &mut rng)?;
 
     println!("inequality: 4x1 + 7x2 + 2x3 <= 9   (paper Fig. 5(f))");
-    println!("unit drop:  {:.3} mV per weight unit\n",
-        filter.working_array().matchline_config().unit_drop() * 1e3);
+    println!(
+        "unit drop:  {:.3} mV per weight unit\n",
+        filter.working_array().matchline_config().unit_drop() * 1e3
+    );
 
     // Replica waveform first (encodes the capacity).
     let replica_trace = filter.replica_array().waveform(

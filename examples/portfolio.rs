@@ -48,11 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (exact_x, exact_value) = solvers::exhaustive(&portfolio)?;
 
     // HyCiM pipeline.
-    let solver = HyCimSolver::new(
-        &portfolio,
-        &HyCimConfig::default().with_sweeps(300),
-        1,
-    )?;
+    let solver = HyCimSolver::new(&portfolio, &HyCimConfig::default().with_sweeps(300), 1)?;
     // A handful of annealing runs from different Monte-Carlo starts
     // (the paper's protocol); keep the best.
     let solution = (0..5)

@@ -56,16 +56,13 @@ pub use hycim_qubo as qubo;
 /// assert_eq!(x.ones(), 1);
 /// ```
 pub mod prelude {
-    pub use hycim_anneal::{Annealer, AnnealTrace, GeometricSchedule, Schedule};
+    pub use hycim_anneal::{AnnealTrace, Annealer, GeometricSchedule, Schedule};
     pub use hycim_cim::filter::{FilterConfig, InequalityFilter};
     pub use hycim_cim::Fidelity;
     pub use hycim_cop::generator::QkpGenerator;
     pub use hycim_cop::QkpInstance;
     pub use hycim_core::{
-        DquboConfig, DquboSolver, HyCimConfig, HyCimSolver, HycimError, Solution,
-        SoftwareSolver,
+        DquboConfig, DquboSolver, HyCimConfig, HyCimSolver, HycimError, SoftwareSolver, Solution,
     };
-    pub use hycim_qubo::{
-        Assignment, InequalityQubo, IsingModel, LinearConstraint, QuboMatrix,
-    };
+    pub use hycim_qubo::{Assignment, InequalityQubo, IsingModel, LinearConstraint, QuboMatrix};
 }

@@ -55,8 +55,7 @@ fn device_ml_tracks_analytic_prediction() {
     let weights: Vec<u64> = (0..100).map(|i| i % 50 + 1).collect();
     let config = FilterConfig::default().with_fidelity(Fidelity::DeviceAccurate);
     let mut rng = StdRng::seed_from_u64(3);
-    let filter =
-        InequalityFilter::build(&weights, 1000, &config, &mut rng).expect("mappable");
+    let filter = InequalityFilter::build(&weights, 1000, &config, &mut rng).expect("mappable");
     let unit = filter.working_array().matchline_config().unit_drop();
     let vdd = filter.working_array().matchline_config().vdd;
     // The series-blend conducts ~98% of the clamp current.

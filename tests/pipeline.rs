@@ -22,8 +22,8 @@ fn fig7e() -> QkpInstance {
 #[test]
 fn full_pipeline_on_fig7e() {
     let inst = fig7e();
-    let solver = HyCimSolver::new(&inst, &HyCimConfig::default().with_sweeps(100), 1)
-        .expect("mappable");
+    let solver =
+        HyCimSolver::new(&inst, &HyCimConfig::default().with_sweeps(100), 1).expect("mappable");
     let solution = solver.solve(3);
     assert!(solution.feasible);
     assert_eq!(solution.value, 25);
@@ -70,8 +70,7 @@ fn hycim_beats_dqubo_on_benchmark_instances() {
             hycim_successes += 1;
         }
 
-        let dqubo =
-            DquboSolver::new(&inst, &DquboConfig::default().with_sweeps(60)).unwrap();
+        let dqubo = DquboSolver::new(&inst, &DquboConfig::default().with_sweeps(60)).unwrap();
         if dqubo.solve(seed).is_success(best) {
             dqubo_successes += 1;
         }
@@ -93,8 +92,8 @@ fn parsed_instances_round_trip_through_the_solver() {
     let text = parser::write_qkp(&inst);
     let parsed = parser::parse_qkp(&text).expect("own output parses");
     assert_eq!(parsed, inst);
-    let solver = HyCimSolver::new(&parsed, &HyCimConfig::default().with_sweeps(100), 2)
-        .expect("mappable");
+    let solver =
+        HyCimSolver::new(&parsed, &HyCimConfig::default().with_sweeps(100), 2).expect("mappable");
     let solution = solver.solve(4);
     assert!(solution.feasible);
     assert!(solution.value > 0);

@@ -24,8 +24,8 @@ fn arb_instance() -> impl Strategy<Value = QkpInstance> {
                 // (64 units per column) while letting at least one
                 // item fit.
                 let capacity = cap_raw.max(max_w).min(64 * n as u64);
-                let mut inst = QkpInstance::new(profits, weights, capacity)
-                    .expect("valid construction");
+                let mut inst =
+                    QkpInstance::new(profits, weights, capacity).expect("valid construction");
                 let n = inst.num_items();
                 let mut it = pairs.into_iter();
                 for i in 0..n {

@@ -111,7 +111,10 @@ where
                 return value;
             }
         }
-        panic!("prop_filter '{}' rejected 1000 consecutive values", self.whence);
+        panic!(
+            "prop_filter '{}' rejected 1000 consecutive values",
+            self.whence
+        );
     }
 }
 
@@ -176,9 +179,8 @@ mod tests {
     #[test]
     fn combinators_compose() {
         let mut rng = deterministic_rng("combinators_compose", 0);
-        let strategy = (1usize..=4).prop_flat_map(|n| {
-            crate::collection::vec(0.0f64..1.0, n).prop_map(move |v| (n, v))
-        });
+        let strategy = (1usize..=4)
+            .prop_flat_map(|n| crate::collection::vec(0.0f64..1.0, n).prop_map(move |v| (n, v)));
         for _ in 0..200 {
             let (n, v) = strategy.new_value(&mut rng);
             assert_eq!(v.len(), n);

@@ -22,10 +22,17 @@ pub struct Annealer<S: Schedule> {
     swap_probability: f64,
 }
 
+/// The paper-calibrated exchange-move fraction (Sec 4): half of the
+/// proposed moves swap one selected bit for one unselected bit. This
+/// is the single source of truth — the solver configurations in
+/// `hycim-core` default to the same value.
+pub const DEFAULT_SWAP_PROBABILITY: f64 = 0.5;
+
 impl<S: Schedule> Annealer<S> {
     /// Creates an annealer running `iterations` iterations under
-    /// `schedule`, recording the full energy trace. By default 40% of
-    /// moves are exchange (pair-flip) moves — see
+    /// `schedule`, recording the full energy trace. By default
+    /// [`DEFAULT_SWAP_PROBABILITY`] of the moves are exchange
+    /// (pair-flip) moves — see
     /// [`with_swap_probability`](Self::with_swap_probability).
     ///
     /// # Panics
@@ -37,7 +44,7 @@ impl<S: Schedule> Annealer<S> {
             schedule,
             iterations,
             record_trace: true,
-            swap_probability: 0.4,
+            swap_probability: DEFAULT_SWAP_PROBABILITY,
         }
     }
 

@@ -58,7 +58,7 @@ mod state;
 pub mod tempering;
 mod trace;
 
-pub use annealer::Annealer;
+pub use annealer::{Annealer, DEFAULT_SWAP_PROBABILITY};
 pub use schedule::{ConstantSchedule, GeometricSchedule, LinearSchedule, Schedule};
 pub use state::{AnnealState, FlipOutcome, PenaltyState, SoftwareState};
 pub use trace::AnnealTrace;

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hycim_cim::crossbar::CrossbarConfig;
 use hycim_cim::filter::{ComparatorConfig, FilterConfig};
 use hycim_cop::generator::QkpGenerator;
-use hycim_core::{DquboConfig, HyCimConfig, HyCimSolver};
+use hycim_core::{DquboConfig, Engine, HyCimConfig, HyCimSolver};
 use hycim_qubo::dqubo::AuxEncoding;
 use std::hint::black_box;
 
@@ -28,7 +28,7 @@ fn bench_quantization_bits(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                black_box(solver.solve(seed).value)
+                black_box(solver.solve(seed).value())
             })
         });
     }
@@ -61,7 +61,7 @@ fn bench_comparator_noise(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                black_box(solver.solve(seed).value)
+                black_box(solver.solve(seed).value())
             })
         });
     }
@@ -81,7 +81,7 @@ fn bench_swap_fraction(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                black_box(solver.solve(seed).value)
+                black_box(solver.solve(seed).value())
             })
         });
     }
@@ -107,7 +107,7 @@ fn bench_dqubo_encoding(c: &mut Criterion) {
             b.iter(|| {
                 let solver = hycim_core::DquboSolver::new(&inst, &config).expect("transforms");
                 seed += 1;
-                black_box(solver.solve(seed).value)
+                black_box(solver.solve(seed).value())
             })
         });
     }

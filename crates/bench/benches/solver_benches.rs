@@ -8,7 +8,7 @@ use hycim_cim::crossbar::{Crossbar, CrossbarConfig};
 use hycim_cim::filter::{FilterConfig, InequalityFilter};
 use hycim_cim::Fidelity;
 use hycim_cop::generator::QkpGenerator;
-use hycim_core::{DquboConfig, DquboSolver, HyCimConfig, HyCimSolver};
+use hycim_core::{DquboConfig, DquboSolver, Engine, HyCimConfig, HyCimSolver};
 use hycim_qubo::dqubo::{AuxEncoding, DquboForm, PenaltyWeights};
 use hycim_qubo::Assignment;
 use rand::rngs::StdRng;

@@ -1,6 +1,7 @@
 //! Quality ablations for the design choices called out in DESIGN.md §7
 //! — reports *success rates* (not throughput; see `ablation_benches`
-//! for timing) under each variation:
+//! for timing) under each variation, with every (instance × initial)
+//! grid fanned out by the deterministic parallel `BatchRunner`:
 //!
 //! * crossbar quantization bits (4..10 for HyCiM),
 //! * comparator noise (ideal / paper / pessimistic),
@@ -12,13 +13,29 @@
 //! cargo run --release -p hycim-bench --bin ablation_report
 //! ```
 
-use hycim_bench::{default_threads, parallel_map, Args};
+use hycim_bench::{default_threads, Args};
 use hycim_cim::crossbar::CrossbarConfig;
 use hycim_cim::filter::{ComparatorConfig, FilterConfig};
 use hycim_cop::generator::benchmark_set;
-use hycim_core::success::{run_dqubo_instance, run_hycim_instance, SuccessReport};
-use hycim_core::{DquboConfig, HyCimConfig};
+use hycim_cop::QkpInstance;
+use hycim_core::success::run_grid_report;
+use hycim_core::{BatchRunner, DquboConfig, DquboSolver, HyCimConfig, HyCimSolver};
 use hycim_qubo::dqubo::AuxEncoding;
+
+fn hycim_rate(
+    instances: &[QkpInstance],
+    config: &HyCimConfig,
+    initials: usize,
+    seed: u64,
+    runner: &BatchRunner,
+) -> f64 {
+    let engines: Vec<HyCimSolver> = instances
+        .iter()
+        .enumerate()
+        .map(|(idx, inst)| HyCimSolver::new(inst, config, seed + idx as u64).expect("mappable"))
+        .collect();
+    run_grid_report(&engines, initials, seed, runner).average_success_rate()
+}
 
 fn main() {
     let args = Args::parse();
@@ -29,21 +46,11 @@ fn main() {
     let seed = args.get_u64("seed", 1);
 
     let instances = benchmark_set(100, per_density);
+    let runner = BatchRunner::new().with_threads(threads);
     println!(
         "ablation protocol: {} instances x {initials} initials, {sweeps} sweeps\n",
         instances.len()
     );
-
-    let hycim_rate = |config: &HyCimConfig| -> f64 {
-        let reports = parallel_map(
-            instances.iter().enumerate().collect::<Vec<_>>(),
-            threads,
-            |(idx, inst)| {
-                run_hycim_instance(inst, config, initials, seed + *idx as u64).expect("mappable")
-            },
-        );
-        SuccessReport { instances: reports }.average_success_rate()
-    };
 
     // ---- crossbar quantization bits ----------------------------------
     println!("== crossbar quantization bits (paper uses 7) ==");
@@ -51,7 +58,10 @@ fn main() {
         let config = HyCimConfig::default()
             .with_sweeps(sweeps)
             .with_crossbar(CrossbarConfig::paper().with_bits(bits));
-        println!("  {bits:>2} bits: success {:.1}%", hycim_rate(&config));
+        println!(
+            "  {bits:>2} bits: success {:.1}%",
+            hycim_rate(&instances, &config, initials, seed, &runner)
+        );
     }
 
     // ---- comparator noise ---------------------------------------------
@@ -71,7 +81,10 @@ fn main() {
         let config = HyCimConfig::default()
             .with_sweeps(sweeps)
             .with_filter(FilterConfig::paper().with_comparator(cmp));
-        println!("  {name}: success {:.1}%", hycim_rate(&config));
+        println!(
+            "  {name}: success {:.1}%",
+            hycim_rate(&instances, &config, initials, seed, &runner)
+        );
     }
 
     // ---- swap-move fraction --------------------------------------------
@@ -79,7 +92,10 @@ fn main() {
     for swap in [0.0, 0.25, 0.5] {
         let mut config = HyCimConfig::default().with_sweeps(sweeps);
         config.swap_probability = swap;
-        println!("  swap {swap:>4}: success {:.1}%", hycim_rate(&config));
+        println!(
+            "  swap {swap:>4}: success {:.1}%",
+            hycim_rate(&instances, &config, initials, seed, &runner)
+        );
     }
 
     // ---- D-QUBO encoding -------------------------------------------------
@@ -91,15 +107,11 @@ fn main() {
         let config = DquboConfig::default()
             .with_sweeps(dsweeps)
             .with_encoding(enc);
-        let reports = parallel_map(
-            instances.iter().enumerate().collect::<Vec<_>>(),
-            threads,
-            |(idx, inst)| {
-                run_dqubo_instance(inst, &config, initials, seed + *idx as u64)
-                    .expect("transformable")
-            },
-        );
-        let report = SuccessReport { instances: reports };
+        let engines: Vec<DquboSolver> = instances
+            .iter()
+            .map(|inst| DquboSolver::new(inst, &config).expect("transformable"))
+            .collect();
+        let report = run_grid_report(&engines, initials, seed, &runner);
         println!(
             "  {name}: success {:.1}%, infeasible finals {:.1}%",
             report.average_success_rate(),
@@ -112,6 +124,9 @@ fn main() {
     for t_end in [0.05, 0.01, 0.002, 0.0005] {
         let mut config = HyCimConfig::default().with_sweeps(sweeps);
         config.t_end_fraction = t_end;
-        println!("  t_end {t_end:>7}: success {:.1}%", hycim_rate(&config));
+        println!(
+            "  t_end {t_end:>7}: success {:.1}%",
+            hycim_rate(&instances, &config, initials, seed, &runner)
+        );
     }
 }

@@ -2,16 +2,18 @@
 //! the hardware reduction "indicates improved energy efficiency":
 //! estimates per-SA-iteration and per-solve energy for HyCiM vs the
 //! D-QUBO baseline using the `hycim-cim` energy model and *measured*
-//! run statistics (infeasible fraction, active cell counts).
+//! run statistics (infeasible fraction, active cell counts), with the
+//! measurement runs fanned out by the parallel `BatchRunner`.
 //!
 //! ```text
 //! cargo run --release -p hycim-bench --bin energy_report
 //! ```
 
-use hycim_bench::Args;
+use hycim_bench::{default_threads, Args};
 use hycim_cim::energy::EnergyModel;
 use hycim_cop::generator::benchmark_set;
-use hycim_core::{HyCimConfig, HyCimSolver};
+use hycim_cop::CopProblem;
+use hycim_core::{BatchRunner, HyCimConfig, HyCimSolver};
 use hycim_qubo::dqubo::{AuxEncoding, PenaltyWeights};
 use hycim_qubo::quant::matrix_bits;
 
@@ -19,6 +21,7 @@ fn main() {
     let args = Args::parse();
     let per_density = args.get_usize("per-density", 2);
     let sweeps = args.get_usize("sweeps", 200);
+    let threads = args.get_usize("threads", default_threads());
     let seed = args.get_u64("seed", 1);
 
     let model = EnergyModel::paper();
@@ -28,16 +31,21 @@ fn main() {
         "instance", "infeas%", "HyCiM J/it", "DQUBO J/it", "ratio", "note"
     );
 
+    // Measure the infeasible-proposal fraction from real runs, one
+    // replica per instance, all instances in parallel.
+    let config = HyCimConfig::default().with_sweeps(sweeps);
+    let engines: Vec<HyCimSolver> = instances
+        .iter()
+        .enumerate()
+        .map(|(idx, inst)| HyCimSolver::new(inst, &config, seed + idx as u64).expect("mappable"))
+        .collect();
+    let grid = BatchRunner::new()
+        .with_threads(threads)
+        .run_grid(&engines, 1, seed);
+
     let mut ratios = Vec::new();
-    for (idx, inst) in instances.iter().enumerate() {
-        // Measure the infeasible-proposal fraction from a real run.
-        let solver = HyCimSolver::new(
-            inst,
-            &HyCimConfig::default().with_sweeps(sweeps),
-            seed + idx as u64,
-        )
-        .expect("mappable");
-        let solution = solver.solve(seed + idx as u64);
+    for (inst, solutions) in instances.iter().zip(&grid) {
+        let solution = &solutions[0];
         let infeasible_frac = solution.trace.infeasible_fraction();
 
         // HyCiM per-iteration energy: filter always; crossbar only on
@@ -74,7 +82,7 @@ fn main() {
         ratios.push(ratio);
         println!(
             "{:<16} {:>9.1}% {:>12.3e} {:>12.3e} {:>11.0}x {:>8}",
-            inst.name(),
+            CopProblem::name(inst),
             infeasible_frac * 100.0,
             e_hycim,
             e_dqubo,

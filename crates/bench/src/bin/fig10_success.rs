@@ -1,5 +1,8 @@
 //! Regenerates paper Fig. 10: normalized QKP values and success rates
-//! of HyCiM vs the D-QUBO baseline over the benchmark set.
+//! of HyCiM vs the D-QUBO baseline over the benchmark set, with the
+//! instance × initial-state grid fanned out by the deterministic
+//! parallel `BatchRunner` (results are bit-identical for any
+//! `--threads` value).
 //!
 //! Paper protocol: 40 instances × 1000 Monte-Carlo initial states ×
 //! 100 SA runs × 1000 iterations. That is a cluster-scale run; the
@@ -15,10 +18,10 @@
 
 use std::time::Instant;
 
-use hycim_bench::{default_threads, mean, parallel_map, Args};
+use hycim_bench::{default_threads, mean, Args};
 use hycim_cop::generator::benchmark_set;
-use hycim_core::success::{run_dqubo_instance, run_hycim_instance, SuccessReport};
-use hycim_core::{DquboConfig, HyCimConfig};
+use hycim_core::success::{run_grid_report, SuccessReport};
+use hycim_core::{BatchRunner, DquboConfig, DquboSolver, HyCimConfig, HyCimSolver};
 
 fn main() {
     let args = Args::parse();
@@ -31,6 +34,7 @@ fn main() {
     let seed = args.get_u64("seed", 1);
 
     let instances = benchmark_set(100, per_density);
+    let runner = BatchRunner::new().with_threads(threads);
     println!(
         "Fig 10 protocol: {} instances x {initials} initials, HyCiM {sweeps} sweeps, \
          D-QUBO {dqubo_sweeps} sweeps, {threads} threads",
@@ -40,17 +44,15 @@ fn main() {
     // ---- HyCiM ------------------------------------------------------
     let t = Instant::now();
     let hycim_cfg = HyCimConfig::default().with_sweeps(sweeps);
-    let hycim_reports = parallel_map(
-        instances.iter().enumerate().collect::<Vec<_>>(),
-        threads,
-        |(idx, inst)| {
-            run_hycim_instance(inst, &hycim_cfg, initials, seed + *idx as u64)
+    let hycim_engines: Vec<HyCimSolver> = instances
+        .iter()
+        .enumerate()
+        .map(|(idx, inst)| {
+            HyCimSolver::new(inst, &hycim_cfg, seed + idx as u64)
                 .expect("benchmark instances map onto the hardware")
-        },
-    );
-    let hycim = SuccessReport {
-        instances: hycim_reports,
-    };
+        })
+        .collect();
+    let hycim = run_grid_report(&hycim_engines, initials, seed, &runner);
     println!("\n== HyCiM ({:.1}s) ==", t.elapsed().as_secs_f64());
     print_report(&hycim);
 
@@ -62,17 +64,11 @@ fn main() {
     // ---- D-QUBO baseline ---------------------------------------------
     let t = Instant::now();
     let dqubo_cfg = DquboConfig::default().with_sweeps(dqubo_sweeps);
-    let dqubo_reports = parallel_map(
-        instances.iter().enumerate().collect::<Vec<_>>(),
-        threads,
-        |(idx, inst)| {
-            run_dqubo_instance(inst, &dqubo_cfg, initials, seed + *idx as u64)
-                .expect("transformable")
-        },
-    );
-    let dqubo = SuccessReport {
-        instances: dqubo_reports,
-    };
+    let dqubo_engines: Vec<DquboSolver> = instances
+        .iter()
+        .map(|inst| DquboSolver::new(inst, &dqubo_cfg).expect("transformable"))
+        .collect();
+    let dqubo = run_grid_report(&dqubo_engines, initials, seed, &runner);
     println!(
         "\n== D-QUBO baseline ({:.1}s) ==",
         t.elapsed().as_secs_f64()

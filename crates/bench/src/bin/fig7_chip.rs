@@ -9,7 +9,7 @@
 use hycim_bench::{bar, Args};
 use hycim_cim::linearity::measure_linearity;
 use hycim_cop::QkpInstance;
-use hycim_core::{HyCimConfig, HyCimSolver};
+use hycim_core::{Engine, HyCimConfig, HyCimSolver};
 use hycim_fefet::VariationModel;
 
 fn main() {
@@ -63,7 +63,7 @@ fn main() {
             .step_by(step)
             .map(|e| format!("{e:>6.1}"))
             .collect();
-        let optimal = solution.value == 25;
+        let optimal = solution.value() == 25;
         if optimal {
             found += 1;
         }

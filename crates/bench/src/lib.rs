@@ -139,54 +139,11 @@ pub fn min_max(xs: &[f64]) -> (f64, f64) {
         })
 }
 
-/// Runs `job` for every item of `items` across `threads` worker
-/// threads, preserving input order in the output.
-pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, job: F) -> Vec<R>
-where
-    T: Send + Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    assert!(threads > 0, "need at least one thread");
-    let n = items.len();
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let next_ref = &next;
-    let items_ref = &items;
-    let job_ref = &job;
-    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
-    let slots_ref = &slots;
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(n.max(1)) {
-            scope.spawn(move || loop {
-                let idx = next_ref.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if idx >= n {
-                    break;
-                }
-                let r = job_ref(&items_ref[idx]);
-                **slots_ref[idx].lock().expect("slot lock") = Some(r);
-            });
-        }
-    });
-    drop(slots);
-    results
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
-}
-
-/// Number of worker threads to use: respects `HYCIM_THREADS`, else
-/// available parallelism, else 4.
+/// Number of worker threads to use for `--threads` defaults: the
+/// [`hycim_core::BatchRunner`] resolution (`HYCIM_THREADS`, else
+/// available parallelism, else 4) — one source of truth for both.
 pub fn default_threads() -> usize {
-    if let Ok(v) = env::var("HYCIM_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+    hycim_core::BatchRunner::new().threads()
 }
 
 /// Renders a sparkline-style ASCII bar for quick terminal plots.
@@ -225,13 +182,6 @@ mod tests {
         assert!(std_dev(&xs) > 1.0 && std_dev(&xs) < 1.2);
         assert_eq!(min_max(&xs), (1.0, 4.0));
         assert_eq!(mean(&[]), 0.0);
-    }
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<usize> = (0..100).collect();
-        let out = parallel_map(items, 8, |&x| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,6 +1,8 @@
 use std::error::Error;
 use std::fmt;
 
+use hycim_qubo::QuboError;
+
 /// Errors produced by the COP layer (instance construction, parsing,
 /// and solver preconditions).
 ///
@@ -46,6 +48,9 @@ pub enum CopError {
         /// Maximum the solver supports.
         limit: usize,
     },
+    /// A QUBO-layer error surfaced while encoding a problem (e.g. in
+    /// [`CopProblem::to_inequality_qubo`](crate::CopProblem::to_inequality_qubo)).
+    Qubo(QuboError),
 }
 
 impl fmt::Display for CopError {
@@ -67,11 +72,25 @@ impl fmt::Display for CopError {
                     "instance with {items} items exceeds solver limit {limit}"
                 )
             }
+            CopError::Qubo(e) => write!(f, "qubo encoding: {e}"),
         }
     }
 }
 
-impl Error for CopError {}
+impl Error for CopError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CopError::Qubo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QuboError> for CopError {
+    fn from(e: QuboError) -> Self {
+        CopError::Qubo(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

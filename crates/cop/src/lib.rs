@@ -44,10 +44,12 @@ pub mod generator;
 pub mod knapsack;
 pub mod maxcut;
 pub mod parser;
+mod problem;
 mod qkp;
 pub mod solvers;
 pub mod spinglass;
 pub mod tsp;
 
 pub use error::CopError;
+pub use problem::CopProblem;
 pub use qkp::QkpInstance;

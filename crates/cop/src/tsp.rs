@@ -100,6 +100,12 @@ impl Tsp {
         self.n * self.n
     }
 
+    /// Largest pairwise distance (sets the equality-penalty scale of
+    /// the QUBO encoding).
+    pub fn max_distance(&self) -> f64 {
+        self.dist.iter().fold(0.0f64, |a, &d| a.max(d))
+    }
+
     /// Index of variable `x_{city,step}`.
     ///
     /// # Panics

@@ -1,8 +1,11 @@
-//! Property-based tests of the COP layer.
+//! Property-based tests of the COP layer, including the
+//! encode/decode round-trip laws of the [`CopProblem`] trait.
 
+use hycim_cop::coloring::GraphColoring;
 use hycim_cop::generator::QkpGenerator;
 use hycim_cop::knapsack::Knapsack;
-use hycim_cop::{parser, solvers, QkpInstance};
+use hycim_cop::maxcut::MaxCut;
+use hycim_cop::{parser, solvers, CopProblem, QkpInstance};
 use hycim_qubo::Assignment;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -114,5 +117,112 @@ proptest! {
         prop_assert!(inst.max_profit_coefficient() <= 100);
         prop_assert!(inst.capacity() >= *inst.weights().iter().max().expect("n > 0"));
         prop_assert!(inst.capacity() < inst.weights().iter().sum::<u64>());
+    }
+}
+
+// ---------------------------------------------------------------------
+// CopProblem round-trip laws: decode(encode(x)) preserves the domain
+// solution, its feasibility, and its objective.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Max-Cut: any partition round-trips, is always feasible, and the
+    /// trait objective is the negated cut value.
+    #[test]
+    fn maxcut_roundtrip_preserves_feasibility_and_objective(
+        n in 2usize..12,
+        graph_seed in any::<u64>(),
+        x_seed in any::<u64>(),
+    ) {
+        let g = MaxCut::random(n, 0.5, graph_seed);
+        let mut rng = StdRng::seed_from_u64(x_seed);
+        let partition = Assignment::random(n, &mut rng);
+        let encoded = CopProblem::encode(&g, &partition);
+        let decoded = CopProblem::decode(&g, &encoded).expect("partitions always decode");
+        prop_assert_eq!(&decoded, &partition);
+        prop_assert!(CopProblem::is_feasible(&g, &encoded));
+        prop_assert_eq!(
+            CopProblem::objective(&g, &encoded),
+            -(g.cut_value(&partition) as f64)
+        );
+    }
+
+    /// Graph coloring: any color vector round-trips; feasibility of
+    /// the encoding equals properness of the coloring; the objective
+    /// counts exactly the monochromatic edges.
+    #[test]
+    fn coloring_roundtrip_preserves_feasibility_and_objective(
+        nodes in 1usize..9,
+        colors in 1usize..5,
+        graph_seed in any::<u64>(),
+        color_seed in any::<u64>(),
+    ) {
+        let g = GraphColoring::random(nodes, 0.5, colors, graph_seed);
+        let mut rng = StdRng::seed_from_u64(color_seed);
+        use rand::Rng;
+        let assignment: Vec<usize> =
+            (0..nodes).map(|_| rng.random_range(0..colors)).collect();
+        let encoded = CopProblem::encode(&g, &assignment);
+        let decoded =
+            CopProblem::decode(&g, &encoded).expect("one color per node decodes");
+        prop_assert_eq!(&decoded, &assignment);
+        // Feasibility ⇔ properness.
+        let conflicts = g
+            .edges()
+            .iter()
+            .filter(|&&(u, v)| assignment[u] == assignment[v])
+            .count();
+        prop_assert_eq!(CopProblem::is_feasible(&g, &encoded), conflicts == 0);
+        prop_assert_eq!(CopProblem::objective(&g, &encoded), conflicts as f64);
+    }
+
+    /// Knapsack: any selection round-trips; the trait objective is the
+    /// gated negated value (0 when over capacity), matching the
+    /// domain arithmetic.
+    #[test]
+    fn knapsack_roundtrip_preserves_feasibility_and_objective(
+        profits in proptest::collection::vec(1u64..=40, 1..10),
+        weights_raw in proptest::collection::vec(1u64..=20, 10),
+        cap in 1u64..=60,
+        x_seed in any::<u64>(),
+    ) {
+        let n = profits.len();
+        let weights = weights_raw[..n].to_vec();
+        let ks = Knapsack::new(profits, weights, cap).expect("valid");
+        let mut rng = StdRng::seed_from_u64(x_seed);
+        let selection = Assignment::random(n, &mut rng);
+        let encoded = CopProblem::encode(&ks, &selection);
+        let decoded = CopProblem::decode(&ks, &encoded).expect("selections decode");
+        prop_assert_eq!(&decoded, &selection);
+        prop_assert_eq!(
+            CopProblem::is_feasible(&ks, &encoded),
+            ks.is_feasible(&selection)
+        );
+        let expected = if ks.is_feasible(&selection) {
+            -(ks.value(&selection) as f64)
+        } else {
+            0.0
+        };
+        prop_assert_eq!(CopProblem::objective(&ks, &encoded), expected);
+    }
+
+    /// The inequality-QUBO encoding agrees with the trait objective on
+    /// feasible configurations for maximization problems (the gated
+    /// energy of paper Eq. 6).
+    #[test]
+    fn encoded_energy_matches_objective_on_feasible_points(
+        inst in arb_small_instance(),
+        x_seed in any::<u64>(),
+    ) {
+        let iq = CopProblem::to_inequality_qubo(&inst).expect("encodable");
+        let mut rng = StdRng::seed_from_u64(x_seed);
+        let x = Assignment::random(inst.num_items(), &mut rng);
+        if CopProblem::is_feasible(&inst, &x) {
+            prop_assert_eq!(iq.energy(&x), CopProblem::objective(&inst, &x));
+        } else {
+            prop_assert_eq!(iq.energy(&x), 0.0);
+        }
     }
 }

@@ -1,6 +1,8 @@
-use hycim_anneal::{AnnealState, FlipOutcome};
+use hycim_anneal::{AnnealState, AnnealTrace, Annealer, FlipOutcome, GeometricSchedule};
 use rand::rngs::StdRng;
 use rand::Rng;
+
+use crate::AnnealSettings;
 
 /// Calibrates the initial annealing temperature from the problem's
 /// actual energy landscape: samples random flip deltas at the initial
@@ -56,6 +58,51 @@ pub fn calibrate_t0<S: AnnealState>(
         return 100.0 * fraction;
     }
     (fraction * sum / count as f64).max(1.0)
+}
+
+/// The shared annealing driver of every engine: calibrates T₀ from the
+/// state's probed deltas ([`calibrate_t0`] with 64 samples), derives
+/// the geometric decay reaching `t_end_fraction × T₀` after
+/// `sweeps × dim` iterations, and runs the Metropolis loop.
+///
+/// The HyCiM, D-QUBO, and software pipelines previously each inlined
+/// this setup; keeping it in one place guarantees their schedules
+/// cannot drift apart.
+///
+/// # Example
+///
+/// ```
+/// use hycim_anneal::SoftwareState;
+/// use hycim_core::{run_annealing, HyCimConfig};
+/// use hycim_qubo::{Assignment, InequalityQubo, LinearConstraint, QuboMatrix};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut q = QuboMatrix::zeros(2);
+/// q.set(0, 0, -5.0);
+/// let iq = InequalityQubo::new(q, LinearConstraint::new(vec![1, 1], 2)?)?;
+/// let mut state = SoftwareState::new(&iq, Assignment::zeros(2));
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let settings = HyCimConfig::default().with_sweeps(20).anneal_settings();
+/// let trace = run_annealing(&mut state, &settings, &mut rng);
+/// assert_eq!(trace.best_energy(), -5.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_annealing<S: AnnealState>(
+    state: &mut S,
+    settings: &AnnealSettings,
+    rng: &mut StdRng,
+) -> AnnealTrace {
+    let iterations = settings.sweeps * state.dim();
+    let t0 = calibrate_t0(state, settings.t0_fraction, 64, rng);
+    let alpha = settings.t_end_fraction.powf(1.0 / iterations as f64);
+    let mut annealer = Annealer::new(GeometricSchedule::new(t0, alpha), iterations)
+        .with_swap_probability(settings.swap_probability);
+    if !settings.record_trace {
+        annealer = annealer.without_trace();
+    }
+    annealer.run(state, rng)
 }
 
 #[cfg(test)]

@@ -1,25 +1,36 @@
-//! **HyCiM** — the hybrid computing-in-memory QUBO solver framework of
+//! **HyCiM** — the hybrid computing-in-memory COP solving framework of
 //! the paper (Fig. 3), assembled from the substrate crates.
 //!
 //! The pipeline for a COP with an inequality constraint (the paper's
 //! running example is the quadratic knapsack problem):
 //!
 //! 1. Transform the COP into the **inequality-QUBO** form
-//!    `min (Σwᵢxᵢ ≤ C)·xᵀQx` (Sec 3.2) — no auxiliary variables.
+//!    `min (Σwᵢxᵢ ≤ C)·xᵀQx` (Sec 3.2) — no auxiliary variables. Any
+//!    [`CopProblem`](hycim_cop::CopProblem) provides this encoding;
+//!    unconstrained and equality-penalty problems are the paper's
+//!    "special cases" with a trivially satisfied constraint.
 //! 2. Map the constraint onto the **FeFET inequality filter**
 //!    (Sec 3.3) and `Q` onto the **FeFET CiM crossbar** (Sec 3.4).
 //! 3. Run **simulated annealing**: each proposed configuration goes
 //!    through the filter; only feasible ones reach the crossbar for a
 //!    QUBO energy computation.
 //!
-//! The baseline **D-QUBO** pipeline (Fig. 1(b)) — penalty encoding on
-//! a much larger crossbar, no filter — is provided for comparison, as
-//! is a noise-free software solver used for validation.
+//! The engine layer is generic over the problem:
+//!
+//! * [`HyCimEngine`] — the filter + crossbar pipeline above.
+//! * [`DquboEngine`] — the baseline **D-QUBO** pipeline (Fig. 1(b)):
+//!   penalty encoding on a much larger crossbar, no filter.
+//! * [`SoftwareEngine`] — a noise-free software reference.
+//! * [`BatchRunner`] — deterministic multi-threaded multi-start
+//!   evaluation over a replica × problem grid.
+//!
+//! [`HyCimSolver`], [`DquboSolver`] and [`SoftwareSolver`] are the QKP
+//! specializations the paper evaluates.
 //!
 //! # Example
 //!
 //! ```
-//! use hycim_core::{HyCimConfig, HyCimSolver};
+//! use hycim_core::{Engine, HyCimConfig, HyCimSolver};
 //! use hycim_cop::QkpInstance;
 //!
 //! # fn main() -> Result<(), hycim_core::HycimError> {
@@ -32,7 +43,7 @@
 //! let solver = HyCimSolver::new(&inst, &HyCimConfig::default(), 1)?;
 //! let solution = solver.solve(42);
 //! assert!(solution.feasible);
-//! assert_eq!(solution.value, 25); // items 0 and 2: 10 + 8 + 7
+//! assert_eq!(solution.value(), 25); // items 0 and 2: 10 + 8 + 7
 //! # Ok(())
 //! # }
 //! ```
@@ -40,19 +51,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod calibrate;
-mod dqubo_solver;
+mod config;
+mod engine;
 mod error;
-pub mod generic;
 mod hardware;
 mod solution;
-mod solver;
 pub mod success;
 pub mod table;
 
-pub use calibrate::calibrate_t0;
-pub use dqubo_solver::{DquboConfig, DquboSolver};
+pub use batch::{replica_seed, BatchRunner};
+pub use calibrate::{calibrate_t0, run_annealing};
+pub use config::{AnnealSettings, DquboConfig, HyCimConfig};
+pub use engine::{
+    DquboEngine, DquboSolver, Engine, HyCimEngine, HyCimSolver, SoftwareEngine, SoftwareSolver,
+};
 pub use error::HycimError;
 pub use hardware::{DquboHardwareState, HyCimHardwareState};
 pub use solution::Solution;
-pub use solver::{HyCimConfig, HyCimSolver, SoftwareSolver};

@@ -1,26 +1,37 @@
-//! Success-rate experiment harness (paper Sec 4.3, Fig. 10).
+//! Success-rate experiment harness (paper Sec 4.3, Fig. 10),
+//! generalized over every [`CopProblem`] × [`Engine`] combination and
+//! executed through the deterministic [`BatchRunner`].
 //!
-//! The paper's protocol: for each QKP instance, generate initial input
+//! The paper's protocol: for each instance, generate initial input
 //! configurations by Monte-Carlo sampling, run SA from each, and count
 //! a run as a success when it reaches ≥ 95% of the optimal value.
-//! HyCiM averages 98.54%; D-QUBO 10.75%.
+//! HyCiM averages 98.54% on QKP; D-QUBO 10.75%.
 
-use hycim_cop::{solvers, QkpInstance};
+use hycim_cop::{solvers, CopProblem, QkpInstance};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::{DquboConfig, DquboSolver, HyCimConfig, HyCimSolver, HycimError, Solution};
+use crate::{BatchRunner, Engine, Solution};
 
-/// Outcome of a success-rate experiment over one instance.
+/// Outcome of a success-rate experiment over one instance on one
+/// engine backend.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InstanceReport {
     /// Instance name.
     pub name: String,
-    /// Best-known value used as the optimum reference.
-    pub best_known: u64,
-    /// Normalized values of every run (Fig. 10 scatter points).
+    /// Problem kind tag (`"qkp"`, `"max-cut"`, …).
+    pub kind: String,
+    /// Engine backend tag (`"hycim"`, `"dqubo"`, `"software"`).
+    pub backend: String,
+    /// Reference objective (minimization convention) the runs are
+    /// scored against: the problem's exact/heuristic reference folded
+    /// with the best feasible run of the batch.
+    pub reference: f64,
+    /// Normalized solution qualities of every run (Fig. 10 scatter
+    /// points; 1 = matched the reference).
     pub normalized_values: Vec<f64>,
-    /// Number of successful runs (≥ 95% of best-known, feasible).
+    /// Number of successful runs (within 5% of the reference,
+    /// feasible).
     pub successes: usize,
     /// Number of runs that ended infeasible (D-QUBO trapping).
     pub infeasible_runs: usize,
@@ -33,6 +44,16 @@ impl InstanceReport {
             return 0.0;
         }
         100.0 * self.successes as f64 / self.normalized_values.len() as f64
+    }
+
+    /// Reference expressed as a maximization value (QKP-style
+    /// reporting): `max(0, -reference)` rounded.
+    pub fn best_known(&self) -> u64 {
+        if self.reference.is_finite() {
+            (-self.reference).round().max(0.0) as u64
+        } else {
+            0
+        }
     }
 }
 
@@ -82,7 +103,89 @@ impl SuccessReport {
     }
 }
 
-/// Establishes the best-known value for an instance, folding in any
+/// Scores a batch of solutions against the problem's reference: the
+/// exact/heuristic [`reference_objective`](CopProblem::reference_objective)
+/// folded with the best feasible run (the batch may beat the
+/// heuristic).
+pub fn summarize<P, E>(engine: &E, solutions: &[Solution<P>], seed: u64) -> InstanceReport
+where
+    P: CopProblem,
+    E: Engine<P>,
+{
+    let problem = engine.problem();
+    let best_seen = solutions
+        .iter()
+        .filter(|s| s.feasible)
+        .map(|s| s.objective)
+        .fold(f64::INFINITY, f64::min);
+    let reference = problem
+        .reference_objective(seed)
+        .unwrap_or(f64::INFINITY)
+        .min(best_seen);
+    let normalized_values: Vec<f64> = solutions
+        .iter()
+        .map(|s| s.normalized_objective(reference))
+        .collect();
+    let successes = solutions
+        .iter()
+        .filter(|s| s.objective_success(reference))
+        .count();
+    let infeasible_runs = solutions.iter().filter(|s| !s.feasible).count();
+    InstanceReport {
+        name: problem.name(),
+        kind: problem.kind().to_string(),
+        backend: engine.backend().to_string(),
+        reference,
+        normalized_values,
+        successes,
+        infeasible_runs,
+    }
+}
+
+/// Runs the Fig. 10 protocol for one engine: `replicas` Monte-Carlo
+/// starting configurations through the [`BatchRunner`], scored against
+/// the instance reference. Deterministic in `seed` independent of the
+/// runner's thread count.
+pub fn run_engine_instance<P, E>(
+    engine: &E,
+    replicas: usize,
+    seed: u64,
+    runner: &BatchRunner,
+) -> InstanceReport
+where
+    P: CopProblem,
+    E: Engine<P>,
+{
+    let solutions = runner.run(engine, replicas, seed);
+    summarize(engine, &solutions, seed)
+}
+
+/// Runs the full Fig. 10 grid for a list of engines (one per
+/// instance): `replicas` Monte-Carlo starts each through the
+/// [`BatchRunner`], then scores every instance against its reference.
+/// Instance `idx` is scored with reference seed `seed + idx` (the
+/// heuristic reference solver is seeded per instance). Both the solve
+/// grid and the scoring pass run on the runner's worker threads —
+/// scoring re-runs the per-instance reference heuristic, which is too
+/// expensive for a serial tail on large sets.
+pub fn run_grid_report<P, E>(
+    engines: &[E],
+    replicas: usize,
+    seed: u64,
+    runner: &BatchRunner,
+) -> SuccessReport
+where
+    P: CopProblem,
+    E: Engine<P>,
+{
+    let grid = runner.run_grid(engines, replicas, seed);
+    let instances = runner.map_indexed(engines.len(), |idx| {
+        summarize(&engines[idx], &grid[idx], seed + idx as u64)
+    });
+    SuccessReport { instances }
+}
+
+/// Establishes the best-known value for a QKP instance, folding in any
 /// extra candidate values discovered during the experiment runs.
 pub fn best_known_value(inst: &QkpInstance, candidates: &[u64], seed: u64) -> u64 {
     let (_, heuristic) = solvers::best_known(inst, 15, seed);
@@ -94,60 +197,8 @@ pub fn best_known_value(inst: &QkpInstance, candidates: &[u64], seed: u64) -> u6
         .unwrap_or(heuristic)
 }
 
-/// Runs the HyCiM side of the Fig. 10 experiment on one instance:
-/// `initials` Monte-Carlo starting configurations, one SA run each.
-///
-/// # Errors
-///
-/// Propagates solver construction failures.
-pub fn run_hycim_instance(
-    inst: &QkpInstance,
-    config: &HyCimConfig,
-    initials: usize,
-    seed: u64,
-) -> Result<InstanceReport, HycimError> {
-    let solver = HyCimSolver::new(inst, config, seed)?;
-    let solutions: Vec<Solution> = (0..initials)
-        .map(|k| solver.solve(seed.wrapping_add(k as u64)))
-        .collect();
-    Ok(summarize(inst, solutions, seed))
-}
-
-/// Runs the D-QUBO side of the Fig. 10 experiment on one instance.
-///
-/// # Errors
-///
-/// Propagates solver construction failures.
-pub fn run_dqubo_instance(
-    inst: &QkpInstance,
-    config: &DquboConfig,
-    initials: usize,
-    seed: u64,
-) -> Result<InstanceReport, HycimError> {
-    let solver = DquboSolver::new(inst, config)?;
-    let solutions: Vec<Solution> = (0..initials)
-        .map(|k| solver.solve(seed.wrapping_add(k as u64)))
-        .collect();
-    Ok(summarize(inst, solutions, seed))
-}
-
-fn summarize(inst: &QkpInstance, solutions: Vec<Solution>, seed: u64) -> InstanceReport {
-    let candidates: Vec<u64> = solutions.iter().map(|s| s.value).collect();
-    let best = best_known_value(inst, &candidates, seed);
-    let normalized_values: Vec<f64> = solutions.iter().map(|s| s.normalized_value(best)).collect();
-    let successes = solutions.iter().filter(|s| s.is_success(best)).count();
-    let infeasible_runs = solutions.iter().filter(|s| !s.feasible).count();
-    InstanceReport {
-        name: inst.name().to_string(),
-        best_known: best,
-        normalized_values,
-        successes,
-        infeasible_runs,
-    }
-}
-
 /// Draws the paper's Monte-Carlo initial configurations: `count`
-/// feasible random selections for an instance.
+/// feasible random selections for a QKP instance.
 pub fn monte_carlo_initials(
     inst: &QkpInstance,
     count: usize,
@@ -162,13 +213,15 @@ pub fn monte_carlo_initials(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{DquboConfig, DquboEngine, HyCimConfig, HyCimEngine};
     use hycim_cop::generator::QkpGenerator;
+    use hycim_cop::maxcut::MaxCut;
 
     #[test]
     fn hycim_report_on_small_set() {
         let inst = QkpGenerator::new(25, 0.5).generate(1);
-        let report =
-            run_hycim_instance(&inst, &HyCimConfig::default().with_sweeps(150), 5, 1).unwrap();
+        let engine = HyCimEngine::new(&inst, &HyCimConfig::default().with_sweeps(150), 1).unwrap();
+        let report = run_engine_instance(&engine, 5, 1, &BatchRunner::serial());
         assert_eq!(report.normalized_values.len(), 5);
         assert!(
             report.success_rate() >= 80.0,
@@ -176,14 +229,18 @@ mod tests {
             report.success_rate()
         );
         assert_eq!(report.infeasible_runs, 0);
+        assert_eq!(report.backend, "hycim");
+        assert_eq!(report.kind, "qkp");
+        assert!(report.best_known() > 0);
     }
 
     #[test]
     fn dqubo_report_counts_infeasible() {
         let inst = QkpGenerator::new(25, 0.5).generate(2);
-        let report =
-            run_dqubo_instance(&inst, &DquboConfig::default().with_sweeps(50), 5, 2).unwrap();
+        let engine = DquboEngine::new(&inst, &DquboConfig::default().with_sweeps(50)).unwrap();
+        let report = run_engine_instance(&engine, 5, 2, &BatchRunner::serial());
         assert_eq!(report.normalized_values.len(), 5);
+        assert_eq!(report.backend, "dqubo");
         // All values within [0, ~1].
         assert!(report
             .normalized_values
@@ -192,17 +249,34 @@ mod tests {
     }
 
     #[test]
+    fn generic_report_runs_maxcut() {
+        let graph = MaxCut::random(14, 0.5, 3);
+        let engine = HyCimEngine::new(&graph, &HyCimConfig::default().with_sweeps(200), 3).unwrap();
+        let report = run_engine_instance(&engine, 4, 3, &BatchRunner::new().with_threads(2));
+        assert_eq!(report.kind, "max-cut");
+        assert_eq!(report.normalized_values.len(), 4);
+        assert!(
+            report.success_rate() > 0.0,
+            "no run reached 95% of the cut reference"
+        );
+    }
+
+    #[test]
     fn aggregate_rates() {
         let r1 = InstanceReport {
             name: "a".into(),
-            best_known: 100,
+            kind: "qkp".into(),
+            backend: "hycim".into(),
+            reference: -100.0,
             normalized_values: vec![1.0, 0.5],
             successes: 1,
             infeasible_runs: 1,
         };
         let r2 = InstanceReport {
             name: "b".into(),
-            best_known: 100,
+            kind: "qkp".into(),
+            backend: "hycim".into(),
+            reference: -100.0,
             normalized_values: vec![1.0, 1.0],
             successes: 2,
             infeasible_runs: 0,

@@ -1,0 +1,162 @@
+//! The problem × engine matrix: every COP type in `hycim-cop` must
+//! solve end-to-end through both the HyCiM pipeline (filter +
+//! crossbar) and the D-QUBO penalty baseline, producing a typed
+//! [`Solution`] — the "general COP framework" claim of paper Sec 3.2
+//! made executable.
+
+use hycim_cop::binpack::BinPacking;
+use hycim_cop::coloring::GraphColoring;
+use hycim_cop::knapsack::Knapsack;
+use hycim_cop::maxcut::MaxCut;
+use hycim_cop::spinglass::SpinGlass;
+use hycim_cop::tsp::Tsp;
+use hycim_cop::{CopProblem, QkpInstance};
+use hycim_core::{
+    BatchRunner, DquboConfig, DquboEngine, Engine, HyCimConfig, HyCimEngine, SoftwareEngine,
+    Solution,
+};
+
+/// Runs one problem through all three engine backends and returns the
+/// HyCiM and D-QUBO solutions, checking the invariants every
+/// (problem, engine) cell must satisfy.
+fn solve_on_both<P: CopProblem>(problem: &P, sweeps: usize) -> (Solution<P>, Solution<P>) {
+    let config = HyCimConfig::default().with_sweeps(sweeps);
+    let hycim = HyCimEngine::new(problem, &config, 1)
+        .unwrap_or_else(|e| panic!("{} does not map onto HyCiM: {e}", problem.kind()));
+    let hy = hycim.solve(2);
+    assert_eq!(hy.assignment.len(), problem.dim(), "{}", problem.kind());
+    // The filter never admits a constraint violation into the
+    // accepted trajectory.
+    let iq = problem.to_inequality_qubo().expect("encodable");
+    assert!(
+        iq.is_feasible(&hy.assignment),
+        "{}: HyCiM best violates the encoded inequality",
+        problem.kind()
+    );
+
+    // The noise-free software backend runs the same encoding.
+    let software = SoftwareEngine::new(problem, &config)
+        .unwrap_or_else(|e| panic!("{} does not encode for software: {e}", problem.kind()));
+    let sw = software.solve(2);
+    assert_eq!(sw.assignment.len(), problem.dim(), "{}", problem.kind());
+    assert!(
+        iq.is_feasible(&sw.assignment),
+        "{}: software best violates the encoded inequality",
+        problem.kind()
+    );
+    assert_eq!(sw.objective, problem.objective(&sw.assignment));
+
+    let dqubo = DquboEngine::new(problem, &DquboConfig::default().with_sweeps(sweeps))
+        .unwrap_or_else(|e| panic!("{} has no D-QUBO form: {e}", problem.kind()));
+    assert!(dqubo.form().dim() > problem.dim(), "{}", problem.kind());
+    let dq = dqubo.solve(3);
+    // The baseline decodes back to the problem's own variable space.
+    assert_eq!(dq.assignment.len(), problem.dim(), "{}", problem.kind());
+
+    for s in [&hy, &dq] {
+        // Feasible solutions decode and carry a finite objective.
+        if s.feasible {
+            assert!(s.decoded.is_some(), "{}", problem.kind());
+            assert!(s.objective.is_finite(), "{}", problem.kind());
+        }
+        assert_eq!(s.objective, problem.objective(&s.assignment));
+    }
+    (hy, dq)
+}
+
+#[test]
+fn qkp_solves_on_both_engines() {
+    let mut inst = QkpInstance::new(vec![10, 6, 8], vec![4, 7, 2], 9).unwrap();
+    inst.set_pair_profit(0, 1, 3);
+    inst.set_pair_profit(0, 2, 7);
+    inst.set_pair_profit(1, 2, 2);
+    let (hy, _dq) = solve_on_both(&inst, 100);
+    assert!(hy.feasible);
+    assert_eq!(hy.value(), 25);
+}
+
+#[test]
+fn knapsack_solves_on_both_engines() {
+    let ks = Knapsack::new(vec![60, 100, 120], vec![10, 20, 30], 50).unwrap();
+    let (hy, _dq) = solve_on_both(&ks, 150);
+    assert!(hy.feasible);
+    // The exact DP optimum is 220; HyCiM must reach it at this size.
+    assert_eq!(hy.value(), 220);
+    assert_eq!(ks.reference_objective(0), Some(-220.0));
+}
+
+#[test]
+fn maxcut_solves_on_both_engines() {
+    let g = MaxCut::random(12, 0.5, 1);
+    let (_, opt) = g.brute_force().unwrap();
+    let (hy, dq) = solve_on_both(&g, 300);
+    assert!(hy.feasible, "max-cut has no infeasible states");
+    let cut = g.cut_value(&hy.assignment);
+    assert!(
+        cut as f64 >= 0.9 * opt as f64,
+        "HyCiM cut {cut} below 90% of optimum {opt}"
+    );
+    // The baseline also always decodes (unconstrained problem).
+    assert!(dq.decoded.is_some());
+}
+
+#[test]
+fn spin_glass_solves_on_both_engines() {
+    let sg = SpinGlass::random_binary(10, 4).unwrap();
+    let (_, ground) = sg.ground_state().unwrap();
+    let (hy, _dq) = solve_on_both(&sg, 400);
+    assert!(hy.feasible);
+    let spins = hy.decoded.expect("spin states always decode");
+    assert_eq!(spins.len(), 10);
+    assert!(
+        hy.objective <= 0.8 * ground,
+        "HyCiM energy {} far from ground state {ground}",
+        hy.objective
+    );
+}
+
+#[test]
+fn tsp_solves_on_both_engines() {
+    let tsp = Tsp::random_euclidean(5, 10.0, 7).unwrap();
+    let (hy, _dq) = solve_on_both(&tsp, 600);
+    assert!(hy.feasible, "HyCiM did not find a valid tour");
+    let tour = hy.decoded.expect("feasible TSP solutions decode to tours");
+    let len = tsp.tour_length(&tour).unwrap();
+    assert_eq!(hy.objective, len);
+    // At 5 cities SA must at least match the greedy heuristic's scale.
+    let nn = tsp.tour_length(&tsp.nearest_neighbor()).unwrap();
+    assert!(len <= 1.5 * nn, "tour {len:.1} vs nearest-neighbor {nn:.1}");
+}
+
+#[test]
+fn coloring_solves_on_both_engines() {
+    let g = GraphColoring::random(6, 0.4, 3, 5);
+    let (hy, _dq) = solve_on_both(&g, 400);
+    assert!(hy.feasible, "HyCiM did not find a proper coloring");
+    assert_eq!(hy.objective, 0.0);
+    let colors = hy.decoded.expect("proper colorings decode");
+    assert_eq!(colors.len(), 6);
+}
+
+#[test]
+fn bin_packing_solves_on_both_engines() {
+    let bp = BinPacking::new(vec![4, 5, 3, 6], 9, 2).unwrap();
+    let (hy, _dq) = solve_on_both(&bp, 500);
+    assert!(hy.feasible, "HyCiM did not find a valid packing");
+    assert_eq!(hy.objective, 0.0);
+    let bins = hy.decoded.expect("valid packings decode");
+    assert!(bp.is_valid_packing(&CopProblem::encode(&bp, &bins)));
+}
+
+#[test]
+fn batch_runner_covers_the_matrix_deterministically() {
+    // One problem family per constraint class, both thread counts.
+    let g = MaxCut::random(10, 0.5, 9);
+    let engine = HyCimEngine::new(&g, &HyCimConfig::default().with_sweeps(50), 2).unwrap();
+    let serial = BatchRunner::serial().run(&engine, 4, 11);
+    let parallel = BatchRunner::new().with_threads(4).run(&engine, 4, 11);
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.assignment, p.assignment);
+        assert_eq!(s.objective, p.objective);
+    }
+}

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example portfolio`
 
 use hycim::cop::{solvers, QkpInstance};
-use hycim::core::{HyCimConfig, HyCimSolver};
+use hycim::core::{BatchRunner, HyCimConfig, HyCimSolver};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 12 candidate projects: standalone payoff and cost (in $100k).
@@ -50,10 +50,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // HyCiM pipeline.
     let solver = HyCimSolver::new(&portfolio, &HyCimConfig::default().with_sweeps(300), 1)?;
     // A handful of annealing runs from different Monte-Carlo starts
-    // (the paper's protocol); keep the best.
-    let solution = (0..5)
-        .map(|seed| solver.solve(seed))
-        .max_by_key(|s| s.value)
+    // (the paper's protocol), fanned out over worker threads by the
+    // deterministic BatchRunner; keep the best.
+    let solution = BatchRunner::new()
+        .run(&solver, 5, 1)
+        .into_iter()
+        .max_by_key(|s| s.value())
         .expect("at least one run");
 
     println!(
@@ -62,9 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "HyCiM solution:     value {}, cost {}, optimal: {}",
-        solution.value,
+        solution.value(),
         portfolio.load(&solution.assignment),
-        solution.value == exact_value
+        solution.value() == exact_value
     );
     println!("funded projects:");
     for i in solution.assignment.support() {

@@ -5,7 +5,7 @@
 
 use hycim::cop::generator::QkpGenerator;
 use hycim::cop::solvers;
-use hycim::core::{DquboConfig, DquboSolver, HyCimConfig, HyCimSolver};
+use hycim::core::{DquboConfig, DquboSolver, Engine, HyCimConfig, HyCimSolver};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A benchmark-style 100-item QKP instance (profits ≤ 100 with 25%
@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "HyCiM:  value {} ({:.1}% of best known), feasible: {}, \
          {} proposals filtered as infeasible",
-        solution.value,
+        solution.value(),
         100.0 * solution.normalized_value(best_known),
         solution.feasible,
         solution.trace.rejected_infeasible(),
@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "D-QUBO: value {} ({:.1}% of best known), feasible: {}, \
          search space 2^{} instead of 2^100",
-        baseline.value,
+        baseline.value(),
         100.0 * baseline.normalized_value(best_known),
         baseline.feasible,
         dqubo.form().dim(),

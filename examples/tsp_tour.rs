@@ -1,64 +1,65 @@
-//! Traveling Salesman through the QUBO stack — the Table 1 \[31\]
-//! problem family (equality-constrained, encoded as penalties).
-//! Anneals a small Euclidean tour and compares against the
-//! nearest-neighbor heuristic.
+//! Traveling Salesman through the generic engine layer — the Table 1
+//! \[31\] problem family (equality-constrained, encoded as penalties).
+//! `Tsp` implements `CopProblem`, so the same `HyCimEngine` /
+//! `DquboEngine` pair that solves QKP anneals tours and decodes them
+//! back into city permutations.
 //!
 //! Run with: `cargo run --release --example tsp_tour`
 
-use hycim::anneal::{Annealer, GeometricSchedule, PenaltyState};
 use hycim::cop::tsp::Tsp;
-use hycim::qubo::dqubo::{AuxEncoding, DquboForm, PenaltyWeights};
-use hycim::qubo::{Assignment, LinearConstraint};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hycim::cop::CopProblem;
+use hycim::core::{BatchRunner, Engine, HyCimConfig, HyCimEngine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tsp = Tsp::random_euclidean(7, 100.0, 11)?;
-    println!("tsp: {} cities in a 100x100 square", tsp.num_cities());
+    println!(
+        "tsp: {} cities in a 100x100 square ({} QUBO variables)",
+        tsp.num_cities(),
+        CopProblem::dim(&tsp)
+    );
 
     let nn_tour = tsp.nearest_neighbor();
     let nn_len = tsp.tour_length(&nn_tour)?;
     println!("nearest neighbor: {nn_tour:?}, length {nn_len:.1}");
 
-    // TSP's constraints are equalities, already inside the QUBO; wrap
-    // it in a trivial inequality so PenaltyState machinery applies
-    // uniformly (the paper's point: equality problems are the easy
-    // special case).
-    let q = tsp.objective_matrix(500.0);
-    let trivial = LinearConstraint::new(vec![1; tsp.dim()], tsp.dim() as u64)?;
-    let form = DquboForm::transform(&q, &trivial, PenaltyWeights::PAPER, AuxEncoding::Binary)?;
+    // TSP's constraints are equalities, already inside the QUBO as
+    // penalties; the engine wraps it in a trivial inequality (the
+    // paper's point: equality problems are the easy special case).
+    let engine = HyCimEngine::new(&tsp, &HyCimConfig::default().with_sweeps(400), 11)?;
 
-    // Seed the annealer with the heuristic tour, lifted to the
-    // extended space.
-    let seed_x = tsp.encode(&nn_tour);
-    let initial = form.lift(&seed_x);
-
+    // Anneal from 5 random permutations; keep the best valid tour.
+    let solutions = BatchRunner::new().run(&engine, 5, 3);
     let mut best_tour = nn_tour.clone();
     let mut best_len = nn_len;
-    for run in 0..5u64 {
-        let mut state = PenaltyState::new(&form, initial.clone());
-        let iterations = 400 * form.dim();
-        let annealer = Annealer::new(
-            GeometricSchedule::for_energy_scale(200.0, iterations),
-            iterations,
-        )
-        .without_trace();
-        let mut rng = StdRng::seed_from_u64(run);
-        let trace = annealer.run(&mut state, &mut rng);
-        let best: Assignment = trace.best_assignment().truncated(tsp.dim());
-        if let Some(tour) = tsp.decode(&best) {
-            let len = tsp.tour_length(&tour)?;
+    for solution in &solutions {
+        if let Some(tour) = &solution.decoded {
+            let len = tsp.tour_length(tour)?;
             if len < best_len {
                 best_len = len;
-                best_tour = tour;
+                best_tour = tour.clone();
             }
         }
     }
-
+    let valid = solutions.iter().filter(|s| s.feasible).count();
+    println!("valid tours from {} runs: {valid}", solutions.len());
     println!("annealed tour:    {best_tour:?}, length {best_len:.1}");
     println!(
         "improvement over nearest neighbor: {:.1}%",
         100.0 * (nn_len - best_len) / nn_len
+    );
+
+    // One-off solve on the baseline engine for contrast.
+    let baseline =
+        hycim::core::DquboEngine::new(&tsp, &hycim::core::DquboConfig::default().with_sweeps(100))?;
+    let b = baseline.solve(3);
+    println!(
+        "D-QUBO baseline ({} extended variables): {}",
+        baseline.form().dim(),
+        if b.feasible {
+            format!("valid tour of length {:.1}", b.objective)
+        } else {
+            "no valid tour (trapped — the paper's Fig. 10 effect)".to_string()
+        }
     );
     Ok(())
 }

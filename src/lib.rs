@@ -11,16 +11,16 @@
 //! | Module | Source crate | Contents |
 //! |---|---|---|
 //! | [`qubo`] | `hycim-qubo` | QUBO/Ising algebra, inequality-QUBO form, D-QUBO penalty transformation, quantization |
-//! | [`cop`] | `hycim-cop` | QKP instances, CNAM generator/parser, knapsack & bin packing, reference solvers |
+//! | [`cop`] | `hycim-cop` | The `CopProblem` trait + 7 problem types (QKP, knapsack, max-cut, TSP, coloring, bin packing, spin glass), CNAM generator/parser, reference solvers |
 //! | [`fefet`] | `hycim-fefet` | Multi-level FeFET device models, Preisach-style programming, 1FeFET1R cells |
 //! | [`cim`] | `hycim-cim` | Inequality filter, CiM crossbar, ADC, matchline, area & energy models |
 //! | [`anneal`] | `hycim-anneal` | Simulated-annealing engine, schedules, traces |
-//! | [`core`] | `hycim-core` | The HyCiM solver framework, D-QUBO baseline, success-rate harness |
+//! | [`core`] | `hycim-core` | Generic engines (`HyCimEngine`, `DquboEngine`, `SoftwareEngine`), the parallel `BatchRunner`, success-rate harness |
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use hycim::core::{HyCimConfig, HyCimSolver};
+//! use hycim::core::{Engine, HyCimConfig, HyCimSolver};
 //! use hycim::cop::generator::QkpGenerator;
 //!
 //! # fn main() -> Result<(), hycim::core::HycimError> {
@@ -60,9 +60,10 @@ pub mod prelude {
     pub use hycim_cim::filter::{FilterConfig, InequalityFilter};
     pub use hycim_cim::Fidelity;
     pub use hycim_cop::generator::QkpGenerator;
-    pub use hycim_cop::QkpInstance;
+    pub use hycim_cop::{CopProblem, QkpInstance};
     pub use hycim_core::{
-        DquboConfig, DquboSolver, HyCimConfig, HyCimSolver, HycimError, SoftwareSolver, Solution,
+        BatchRunner, DquboConfig, DquboEngine, DquboSolver, Engine, HyCimConfig, HyCimEngine,
+        HyCimSolver, HycimError, SoftwareEngine, SoftwareSolver, Solution,
     };
     pub use hycim_qubo::{Assignment, InequalityQubo, IsingModel, LinearConstraint, QuboMatrix};
 }

@@ -18,7 +18,9 @@ fn facade_modules_alias_subcrates() {
     same::<hycim::fefet::FefetCell>(std::convert::identity::<hycim_fefet::FefetCell>);
     same::<hycim::cim::Fidelity>(std::convert::identity::<hycim_cim::Fidelity>);
     same::<hycim::anneal::AnnealTrace>(std::convert::identity::<hycim_anneal::AnnealTrace>);
-    same::<hycim::core::Solution>(std::convert::identity::<hycim_core::Solution>);
+    same::<hycim::core::Solution<hycim::cop::QkpInstance>>(
+        std::convert::identity::<hycim_core::Solution<hycim_cop::QkpInstance>>,
+    );
 }
 
 /// The prelude surface named in the facade docs resolves and is
@@ -29,7 +31,7 @@ fn prelude_surface_is_usable() {
     let instance = QkpGenerator::new(12, 0.5).generate(3);
     let solver = HyCimSolver::new(&instance, &HyCimConfig::default().with_sweeps(30), 1)
         .expect("small instance maps onto the paper-sized hardware");
-    let solution: Solution = solver.solve(7);
+    let solution: Solution<QkpInstance> = solver.solve(7);
     assert!(solution.feasible);
     assert_eq!(solution.assignment.len(), 12);
 

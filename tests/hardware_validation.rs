@@ -102,8 +102,8 @@ fn hardware_noise_costs_little_quality() {
         let config = HyCimConfig::default().with_sweeps(300);
         let hw = HyCimSolver::new(&inst, &config, seed).expect("maps");
         let sw = SoftwareSolver::new(&inst, &config).expect("transforms");
-        hw_total += hw.solve(seed).value;
-        sw_total += sw.solve(seed).value;
+        hw_total += hw.solve(seed).value();
+        sw_total += sw.solve(seed).value();
     }
     assert!(
         hw_total as f64 >= 0.95 * sw_total as f64,
@@ -122,7 +122,7 @@ fn variability_degrades_gracefully() {
             FilterConfig::default().with_variation(VariationModel::paper().scaled(scale)),
         );
         let solver = HyCimSolver::new(&inst, &config, 5).expect("maps");
-        values.push(solver.solve(5).value);
+        values.push(solver.solve(5).value());
     }
     // No collapse: the noisiest run keeps ≥ 90% of the ideal run.
     assert!(

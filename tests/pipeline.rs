@@ -26,7 +26,7 @@ fn full_pipeline_on_fig7e() {
         HyCimSolver::new(&inst, &HyCimConfig::default().with_sweeps(100), 1).expect("mappable");
     let solution = solver.solve(3);
     assert!(solution.feasible);
-    assert_eq!(solution.value, 25);
+    assert_eq!(solution.value(), 25);
 }
 
 #[test]
@@ -39,8 +39,8 @@ fn hardware_and_software_agree_on_small_instances() {
         let config = HyCimConfig::default().with_sweeps(200);
         let hw = HyCimSolver::new(&inst, &config, seed).expect("mappable");
         let sw = SoftwareSolver::new(&inst, &config).expect("transformable");
-        let hv = hw.solve(seed).value;
-        let sv = sw.solve(seed).value;
+        let hv = hw.solve(seed).value();
+        let sv = sw.solve(seed).value();
         assert!(
             hv as f64 >= 0.9 * opt as f64,
             "hardware too weak at seed {seed}: {hv} vs optimum {opt}"
@@ -96,7 +96,7 @@ fn parsed_instances_round_trip_through_the_solver() {
         HyCimSolver::new(&parsed, &HyCimConfig::default().with_sweeps(100), 2).expect("mappable");
     let solution = solver.solve(4);
     assert!(solution.feasible);
-    assert!(solution.value > 0);
+    assert!(solution.value() > 0);
 }
 
 #[test]

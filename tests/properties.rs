@@ -90,8 +90,8 @@ proptest! {
         let solution = solver.solve(seed);
         prop_assert!(solution.feasible);
         prop_assert!(inst.is_feasible(&solution.assignment));
-        prop_assert!(solution.value <= opt, "value {} above optimum {}", solution.value, opt);
-        prop_assert_eq!(solution.value, inst.value(&solution.assignment));
+        prop_assert!(solution.value() <= opt, "value {} above optimum {}", solution.value(), opt);
+        prop_assert_eq!(solution.value(), inst.value(&solution.assignment));
     }
 
     /// D-QUBO decoding always returns an item vector of the right
@@ -105,9 +105,9 @@ proptest! {
         let solution = solver.solve(seed);
         prop_assert_eq!(solution.assignment.len(), inst.num_items());
         if solution.feasible {
-            prop_assert_eq!(solution.value, inst.value(&solution.assignment));
+            prop_assert_eq!(solution.value(), inst.value(&solution.assignment));
         } else {
-            prop_assert_eq!(solution.value, 0);
+            prop_assert_eq!(solution.value(), 0);
         }
     }
 }

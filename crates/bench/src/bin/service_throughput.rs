@@ -1,0 +1,118 @@
+//! Throughput report for the `hycim-service` job front-end: a
+//! heterogeneous job mix (QKP solves + a max-cut multi-start batch)
+//! pushed through `JobService` at increasing worker counts, against a
+//! serial direct-`Engine::solve` reference. Every fetched solution is
+//! checked bit-identical to its synchronous reference before any
+//! number is printed.
+//!
+//! ```text
+//! cargo run --release -p hycim-bench --bin service_throughput -- --jobs 64 --sweeps 500
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use hycim_bench::{bar, default_threads, Args};
+use hycim_cop::generator::QkpGenerator;
+use hycim_cop::maxcut::MaxCut;
+use hycim_cop::QkpInstance;
+use hycim_core::{Engine, HyCimConfig, HyCimEngine};
+use hycim_service::{JobService, ServiceConfig};
+
+fn main() {
+    let args = Args::parse();
+    let jobs = args.get_usize("jobs", 64);
+    let items = args.get_usize("items", 30);
+    let sweeps = args.get_usize("sweeps", 300);
+    let batch_replicas = args.get_usize("batch-replicas", 8);
+    let seed = args.get_u64("seed", 1);
+    let max_workers = args.get_usize("max-workers", default_threads());
+
+    let config = HyCimConfig::default().with_sweeps(sweeps);
+    let qkp = QkpGenerator::new(items, 0.5).generate(seed);
+    let graph = MaxCut::random(items, 0.4, seed);
+    let qkp_engine =
+        Arc::new(HyCimEngine::new(&qkp, &config, seed).expect("benchmark instance maps"));
+    let cut_engine =
+        Arc::new(HyCimEngine::new(&graph, &config, seed).expect("max-cut always maps"));
+
+    // --- serial reference: the same work as direct synchronous calls.
+    let start = Instant::now();
+    let qkp_reference: Vec<_> = (0..jobs as u64).map(|s| qkp_engine.solve(s)).collect();
+    let cut_reference: Vec<_> = (0..batch_replicas as u64)
+        .map(|k| cut_engine.solve(hycim_core::replica_seed(seed, 0, k)))
+        .collect();
+    let serial = start.elapsed();
+    let total_solves = jobs + batch_replicas;
+
+    println!(
+        "== service throughput: {jobs} QKP jobs + 1 max-cut batch ({batch_replicas} replicas), \
+         {sweeps} sweeps, n={items} =="
+    );
+    println!(
+        "serial reference (direct Engine::solve): {:8.1} ms  ({:.1} solves/s)",
+        serial.as_secs_f64() * 1e3,
+        total_solves as f64 / serial.as_secs_f64()
+    );
+    println!();
+    println!("workers    wall (ms)   solves/s   speedup");
+
+    let mut workers = 1;
+    let mut speedups = Vec::new();
+    while workers <= max_workers {
+        let service = JobService::start(
+            ServiceConfig::new()
+                .with_workers(workers)
+                .with_queue_capacity(jobs + 1),
+        );
+        let start = Instant::now();
+        let qkp_jobs: Vec<_> = (0..jobs as u64)
+            .map(|s| service.submit(&qkp_engine, s).expect("sized queue"))
+            .collect();
+        let batch = service
+            .submit_batch(&cut_engine, batch_replicas, seed)
+            .expect("sized queue");
+        for (s, &job) in (0u64..).zip(&qkp_jobs) {
+            let result = service
+                .wait_fetch::<QkpInstance>(job)
+                .expect("submitted jobs finish");
+            assert_eq!(
+                result.solution().assignment,
+                qkp_reference[s as usize].assignment,
+                "service diverged from direct solve at seed {s}"
+            );
+        }
+        let batch_result = service.wait_fetch::<MaxCut>(batch).expect("batch finishes");
+        for (k, reference) in cut_reference.iter().enumerate() {
+            assert_eq!(
+                batch_result.solutions[k].assignment, reference.assignment,
+                "batch replica {k} diverged"
+            );
+        }
+        let wall = start.elapsed();
+        service.shutdown();
+
+        let speedup = serial.as_secs_f64() / wall.as_secs_f64();
+        speedups.push(speedup);
+        println!(
+            "{workers:<10} {:8.1}    {:7.1}   {speedup:5.2}x  {}",
+            wall.as_secs_f64() * 1e3,
+            total_solves as f64 / wall.as_secs_f64(),
+            bar(speedup, max_workers as f64, 24)
+        );
+        workers *= 2;
+    }
+
+    println!();
+    println!(
+        "every fetched solution verified bit-identical to its direct Engine::solve reference \
+         ({} solves per row)",
+        total_solves
+    );
+    if let (Some(first), Some(last)) = (speedups.first(), speedups.last()) {
+        println!(
+            "scaling {first:.2}x -> {last:.2}x across worker counts (ideal: {max_workers}x at \
+             {max_workers} workers; per-job solve time and queue overhead set the gap)"
+        );
+    }
+}

@@ -139,12 +139,9 @@ pub fn min_max(xs: &[f64]) -> (f64, f64) {
         })
 }
 
-/// Number of worker threads to use for `--threads` defaults: the
-/// [`hycim_core::BatchRunner`] resolution (`HYCIM_THREADS`, else
-/// available parallelism, else 4) — one source of truth for both.
-pub fn default_threads() -> usize {
-    hycim_core::BatchRunner::new().threads()
-}
+// The `--threads` default of every report binary is the stack-wide
+// thread-count knob (`HYCIM_THREADS`, else available parallelism).
+pub use hycim_core::default_threads;
 
 /// Renders a sparkline-style ASCII bar for quick terminal plots.
 pub fn bar(value: f64, max: f64, width: usize) -> String {

@@ -51,5 +51,5 @@ pub mod spinglass;
 pub mod tsp;
 
 pub use error::CopError;
-pub use problem::CopProblem;
+pub use problem::{coloring_penalty_weight, tsp_penalty_weight, CopProblem};
 pub use qkp::QkpInstance;

@@ -65,6 +65,33 @@ use crate::{solvers, CopError, QkpInstance};
 /// A combinatorial optimization problem that can run on the HyCiM
 /// engines: encodes into the inequality-QUBO form, decodes hardware
 /// configurations back into typed domain solutions, and scores them.
+///
+/// # Example
+///
+/// The encode → decode round trip on a tiny max-cut (the solve step
+/// in between is the engine layer's job — see `Engine` in
+/// `hycim-core`, whose `solve` produces exactly such bit vectors):
+///
+/// ```
+/// use hycim_cop::maxcut::MaxCut;
+/// use hycim_cop::CopProblem;
+/// use hycim_qubo::Assignment;
+///
+/// let graph = MaxCut::random(6, 0.5, 1);
+///
+/// // A domain solution (a partition) encodes to a bit vector…
+/// let partition = Assignment::from_bits([true, false, true, false, true, false]);
+/// let x = graph.encode(&partition);
+///
+/// // …which decodes back to the same partition, scored by the
+/// // negated cut value (minimization convention).
+/// assert_eq!(graph.decode(&x), Some(partition.clone()));
+/// assert_eq!(graph.objective(&x), -(graph.cut_value(&partition) as f64));
+///
+/// // The QUBO encoding agrees on dimension with the problem.
+/// let iq = graph.to_inequality_qubo().expect("max-cut always encodes");
+/// assert_eq!(iq.dim(), CopProblem::dim(&graph));
+/// ```
 pub trait CopProblem: Clone + Send + Sync + fmt::Debug {
     /// The typed domain solution this problem decodes into (a
     /// selection, a tour, a coloring, …).
@@ -159,6 +186,50 @@ pub trait CopProblem: Clone + Send + Sync + fmt::Debug {
 /// encoding for unconstrained and equality-penalty problems.
 fn trivial_constraint(dim: usize) -> Result<LinearConstraint, CopError> {
     LinearConstraint::new(vec![1; dim], dim as u64).map_err(CopError::from)
+}
+
+// ---------------------------------------------------------------------
+// Penalty-weight derivations for the equality-penalty encodings
+// ---------------------------------------------------------------------
+//
+// TSP and coloring enter the inequality-QUBO form through quadratic
+// penalties (the paper's "equality constraints as special cases").
+// The weights below are *instance-derived constants*; the ROADMAP's
+// adaptive-penalty item will replace them with probed-delta
+// calibration (like `calibrate_t0`), which is why each derivation is
+// written out here as a named, documented function rather than a
+// magic number at the use site.
+
+/// Penalty weight of the TSP equality-constraint expansion, derived
+/// from the instance's distance matrix.
+///
+/// Derivation: the TSP QUBO has one-city-per-step and
+/// one-step-per-city one-hot expansions. Removing a visit from a
+/// valid tour saves at most `2 · d_max` of tour length (the two
+/// incident legs), while it violates one row *and* one column
+/// constraint — a `2 × penalty` energy increase. Any
+/// `penalty > d_max` therefore keeps valid tours optimal;
+/// `2 · d_max` doubles that margin so crossbar quantization and
+/// device noise cannot erode it.
+pub fn tsp_penalty_weight(tsp: &Tsp) -> f64 {
+    2.0 * tsp.max_distance()
+}
+
+/// Penalty weight of the graph-coloring QUBO.
+///
+/// Derivation: coloring is a pure feasibility problem — the QUBO has
+/// *no* competing objective term, so any positive weight encodes the
+/// one-color-per-vertex and no-monochromatic-edge constraints
+/// exactly, and the weight only sets the energy gap between proper
+/// and improper colorings. The fixed 4.0 keeps single-violation
+/// deltas comfortably above crossbar readout noise while staying
+/// small enough that quantizing the matrix to the crossbar's bit
+/// width loses no structure. Unlike [`tsp_penalty_weight`] no
+/// instance quantity enters the bound, but the helper takes the
+/// instance so adaptive calibration can slot in without an API
+/// change.
+pub fn coloring_penalty_weight(_gc: &GraphColoring) -> f64 {
+    4.0
 }
 
 /// Seeded Fisher-Yates permutation of `0..n`.
@@ -418,11 +489,7 @@ impl CopProblem for Tsp {
     }
 
     fn to_inequality_qubo(&self) -> Result<InequalityQubo, CopError> {
-        // Removing a visit saves ≤ 2·d_max of tour length but costs
-        // 2 × penalty in the one-city-per-step / one-step-per-city
-        // expansions, so penalty > d_max keeps valid tours optimal;
-        // 2·d_max leaves margin for hardware noise.
-        let q = self.objective_matrix(2.0 * self.max_distance());
+        let q = self.objective_matrix(tsp_penalty_weight(self));
         InequalityQubo::new(q, trivial_constraint(Tsp::dim(self))?).map_err(CopError::from)
     }
 
@@ -455,11 +522,6 @@ impl CopProblem for Tsp {
 // Graph coloring (equality constraints as penalties)
 // ---------------------------------------------------------------------
 
-/// Penalty weight of the coloring QUBO. Coloring is a pure feasibility
-/// problem (no competing objective), so any positive value encodes it
-/// exactly; 4.0 keeps deltas comfortably above crossbar readout noise.
-const COLORING_PENALTY: f64 = 4.0;
-
 impl CopProblem for GraphColoring {
     /// Color index per vertex.
     type Decoded = Vec<usize>;
@@ -477,7 +539,7 @@ impl CopProblem for GraphColoring {
     }
 
     fn to_inequality_qubo(&self) -> Result<InequalityQubo, CopError> {
-        let q = self.objective_matrix(COLORING_PENALTY);
+        let q = self.objective_matrix(coloring_penalty_weight(self));
         InequalityQubo::new(q, trivial_constraint(GraphColoring::dim(self))?)
             .map_err(CopError::from)
     }
@@ -823,6 +885,36 @@ mod tests {
         check!(bp);
         check!(mc);
         check!(sg);
+    }
+
+    #[test]
+    fn penalty_weights_follow_their_derivations() {
+        let tsp = Tsp::random_euclidean(6, 10.0, 3).unwrap();
+        // The documented bound: strictly more than the largest leg, so
+        // dropping a visit (saving ≤ 2·d_max) can never beat the
+        // 2×penalty constraint violation it causes.
+        assert!(tsp_penalty_weight(&tsp) > tsp.max_distance());
+        assert_eq!(tsp_penalty_weight(&tsp), 2.0 * tsp.max_distance());
+        // The encoding uses exactly the derived weight.
+        let iq = CopProblem::to_inequality_qubo(&tsp).unwrap();
+        let direct = tsp.objective_matrix(tsp_penalty_weight(&tsp));
+        let x = tsp.initial(&mut rng(7));
+        assert_eq!(iq.objective().energy(&x), direct.energy(&x));
+
+        let gc = GraphColoring::random(6, 0.4, 3, 3);
+        assert!(coloring_penalty_weight(&gc) > 0.0);
+        let iq = CopProblem::to_inequality_qubo(&gc).unwrap();
+        // One violation costs exactly the penalty weight: a proper
+        // coloring vs the same coloring with one vertex left blank.
+        let proper = gc.greedy_coloring().unwrap();
+        let mut blank = proper.clone();
+        for c in 0..gc.num_colors() {
+            blank.set(gc.var(0, c), false);
+        }
+        assert_eq!(
+            iq.objective().energy(&blank) - iq.objective().energy(&proper),
+            coloring_penalty_weight(&gc)
+        );
     }
 
     #[test]

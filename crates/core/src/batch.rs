@@ -50,6 +50,24 @@ pub fn replica_seed(root_seed: u64, problem_index: u64, replica: u64) -> u64 {
     splitmix64(per_problem ^ splitmix64(replica.wrapping_add(0x5851_F42D_4C95_7F2D)))
 }
 
+/// Worker-thread count every layer that fans engine solves out over
+/// OS threads agrees on: the `HYCIM_THREADS` environment variable
+/// when set (`0` clamps to 1, i.e. serial — the historic
+/// bench-harness semantics), else available parallelism, else 4.
+/// Used by [`BatchRunner::new`] and the `hycim-service` worker pool,
+/// so one knob sizes the whole stack.
+pub fn default_threads() -> usize {
+    std::env::var("HYCIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+}
+
 /// Multi-threaded, deterministic multi-start runner over a
 /// replica-count × problem-list grid.
 #[derive(Debug, Clone)]
@@ -59,20 +77,11 @@ pub struct BatchRunner {
 
 impl BatchRunner {
     /// A runner using all available parallelism (respects the
-    /// `HYCIM_THREADS` environment variable).
+    /// `HYCIM_THREADS` environment variable — see [`default_threads`]).
     pub fn new() -> Self {
-        // HYCIM_THREADS=0 clamps to 1 (serial), matching the historic
-        // bench-harness semantics.
-        let threads = std::env::var("HYCIM_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .map(|n| n.max(1))
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(4)
-            });
-        Self { threads }
+        Self {
+            threads: default_threads(),
+        }
     }
 
     /// A single-threaded runner (the serial reference the determinism

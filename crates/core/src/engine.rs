@@ -47,6 +47,30 @@ use crate::{
 /// encoding eagerly; [`solve`](Engine::solve) is a pure function of
 /// the seed, which is what makes batched runs deterministic
 /// independent of scheduling (see [`BatchRunner`](crate::BatchRunner)).
+///
+/// # Example
+///
+/// The encode → solve → decode round trip on a tiny max-cut: the
+/// engine returns a typed [`Solution`] whose decoded partition
+/// re-encodes to the exact configuration the annealer settled on.
+///
+/// ```
+/// use hycim_core::{Engine, HyCimConfig, SoftwareEngine};
+/// use hycim_cop::maxcut::MaxCut;
+/// use hycim_cop::CopProblem;
+///
+/// # fn main() -> Result<(), hycim_core::HycimError> {
+/// let graph = MaxCut::random(8, 0.5, 1);
+/// let engine = SoftwareEngine::new(&graph, &HyCimConfig::default().with_sweeps(60))?;
+///
+/// let solution = engine.solve(7);                       // solve (pure in the seed)
+/// let partition = solution.decoded.clone().expect("any partition decodes");
+/// assert_eq!(graph.encode(&partition), solution.assignment);   // encode inverts decode
+/// assert_eq!(solution.objective, -(graph.cut_value(&partition) as f64));
+/// assert_eq!(solution.assignment, engine.solve(7).assignment); // deterministic
+/// # Ok(())
+/// # }
+/// ```
 pub trait Engine<P: CopProblem>: Send + Sync {
     /// The problem being solved.
     fn problem(&self) -> &P;

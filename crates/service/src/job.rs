@@ -1,0 +1,146 @@
+//! Job handles, lifecycle states, and the typed result envelope.
+
+use std::fmt;
+
+use hycim_cop::CopProblem;
+use hycim_core::Solution;
+
+/// Opaque handle of a submitted job, unique within one
+/// [`JobService`](crate::JobService) for its whole lifetime (ids are
+/// never reused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub(crate) u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Lifecycle state of a job, as reported by
+/// [`JobService::status`](crate::JobService::status).
+///
+/// The only transitions are `Queued → Running → {Done, Failed}` and
+/// `Queued → Cancelled`; once a worker has picked a job up it runs to
+/// completion (an [`Engine::solve`](hycim_core::Engine::solve) call
+/// has no safe interruption point — it is a pure function of its
+/// seed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the bounded queue for a free worker.
+    Queued,
+    /// A worker thread is executing the solve.
+    Running,
+    /// Finished successfully; the result is ready to
+    /// [`fetch`](crate::JobService::fetch).
+    Done,
+    /// The job panicked on its worker; fetching returns the panic
+    /// message as [`FetchError::Failed`](crate::FetchError::Failed).
+    Failed,
+    /// Cancelled while still queued; it never ran.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// Whether the job has reached a final state (`Done`, `Failed` or
+    /// `Cancelled`) — i.e. polling will never observe another
+    /// transition.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled
+        )
+    }
+}
+
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Typed result of a completed job: the solutions of every replica,
+/// with the exact solve seed each one used — enough to reproduce any
+/// entry with a direct [`Engine::solve`](hycim_core::Engine::solve)
+/// call.
+#[derive(Debug, Clone)]
+pub struct JobResult<P: CopProblem> {
+    /// The handle this result was fetched under.
+    pub id: JobId,
+    /// Backend tag of the engine that ran the job (`"hycim"`,
+    /// `"dqubo"`, `"software"`).
+    pub backend: &'static str,
+    /// The solve seed of each replica, index-aligned with
+    /// [`solutions`](Self::solutions). Single-solve jobs have exactly
+    /// one entry; batch jobs hold
+    /// [`replica_seed`](hycim_core::replica_seed)-derived seeds.
+    pub seeds: Vec<u64>,
+    /// One solution per replica, in replica order.
+    pub solutions: Vec<Solution<P>>,
+}
+
+impl<P: CopProblem> JobResult<P> {
+    /// The single solution of a one-shot job (equivalently: the first
+    /// replica of a batch).
+    ///
+    /// # Panics
+    ///
+    /// Never panics for results produced by a
+    /// [`JobService`](crate::JobService) — every job runs at least one
+    /// replica.
+    pub fn solution(&self) -> &Solution<P> {
+        self.solutions
+            .first()
+            .expect("jobs run at least one replica")
+    }
+
+    /// The best solution across replicas: lowest objective, feasible
+    /// preferred over infeasible (ties keep the earliest replica, so
+    /// the choice is deterministic).
+    pub fn best(&self) -> &Solution<P> {
+        self.solutions
+            .iter()
+            .reduce(|best, s| {
+                let better = (s.feasible, -s.objective) > (best.feasible, -best.objective);
+                if better {
+                    s
+                } else {
+                    best
+                }
+            })
+            .expect("jobs run at least one replica")
+    }
+
+    /// Number of replicas the job ran.
+    pub fn replicas(&self) -> usize {
+        self.solutions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_terminality() {
+        assert!(!JobStatus::Queued.is_terminal());
+        assert!(!JobStatus::Running.is_terminal());
+        assert!(JobStatus::Done.is_terminal());
+        assert!(JobStatus::Failed.is_terminal());
+        assert!(JobStatus::Cancelled.is_terminal());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(JobId(7).to_string(), "job-7");
+        assert_eq!(JobStatus::Queued.to_string(), "queued");
+        assert_eq!(JobStatus::Cancelled.to_string(), "cancelled");
+    }
+}

@@ -16,6 +16,11 @@
 //! | [`cim`] | `hycim-cim` | Inequality filter, CiM crossbar, ADC, matchline, area & energy models |
 //! | [`anneal`] | `hycim-anneal` | Simulated-annealing engine, schedules, traces |
 //! | [`core`] | `hycim-core` | Generic engines (`HyCimEngine`, `DquboEngine`, `SoftwareEngine`), the parallel `BatchRunner`, success-rate harness |
+//! | [`service`] | `hycim-service` | Job-service front-end: bounded-queue worker pool serving solve jobs to concurrent callers (submit → poll → fetch) |
+//!
+//! The crate-level narrative — who calls whom, and why the layers cut
+//! where they do — lives in
+//! [`docs/ARCHITECTURE.md`](https://github.com/hycim/hycim/blob/main/docs/ARCHITECTURE.md).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +51,7 @@ pub use hycim_cop as cop;
 pub use hycim_core as core;
 pub use hycim_fefet as fefet;
 pub use hycim_qubo as qubo;
+pub use hycim_service as service;
 
 /// Convenient single-import surface for the most used types.
 ///
@@ -66,4 +72,5 @@ pub mod prelude {
         HyCimSolver, HycimError, SoftwareEngine, SoftwareSolver, Solution,
     };
     pub use hycim_qubo::{Assignment, InequalityQubo, IsingModel, LinearConstraint, QuboMatrix};
+    pub use hycim_service::{JobId, JobResult, JobService, JobStatus, ServiceConfig};
 }

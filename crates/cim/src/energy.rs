@@ -52,6 +52,53 @@ impl EnergyModel {
             + self.comparator_decision
     }
 
+    /// Energy of one filter-*bank* evaluation: `k` concurrent
+    /// matchline evaluations, one per constraint. Each filter pays
+    /// its own working+replica precharge, its conducting cell-phases
+    /// (`loadₖ + capacityₖ`), and one comparator decision — the bank
+    /// shares the 4-phase read in *time* (one filter latency) but not
+    /// in *energy*: every matchline still precharges and discharges.
+    ///
+    /// `loads` and `capacities` are index-aligned per constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loads.len() != capacities.len()` or both are empty.
+    pub fn bank_eval(&self, loads: &[u64], capacities: &[u64]) -> f64 {
+        assert_eq!(
+            loads.len(),
+            capacities.len(),
+            "one load per bank constraint"
+        );
+        assert!(!loads.is_empty(), "a bank holds at least one filter");
+        loads
+            .iter()
+            .zip(capacities)
+            .map(|(&l, &c)| self.filter_eval(l, c))
+            .sum()
+    }
+
+    /// Energy of one bank-pipeline SA iteration: always a full bank
+    /// evaluation (`k` matchline evaluations); the crossbar fires only
+    /// when **every** filter admits the configuration — the
+    /// multi-constraint generalization of
+    /// [`hycim_iteration`](Self::hycim_iteration).
+    pub fn bank_iteration(
+        &self,
+        loads: &[u64],
+        capacities: &[u64],
+        feasible: bool,
+        active_columns: usize,
+        bits: u32,
+        active_cells: usize,
+    ) -> f64 {
+        let mut e = self.bank_eval(loads, capacities) + self.sa_logic_iteration;
+        if feasible {
+            e += self.crossbar_vmv(active_columns, bits, active_cells);
+        }
+        e
+    }
+
     /// Energy of one crossbar QUBO computation over an `n`-dimension,
     /// `bits`-bit matrix with `active_cells` conducting cells:
     /// cell reads + one ADC conversion per active column per bit plane
@@ -135,6 +182,43 @@ mod tests {
             dqubo > 5.0 * hycim,
             "expected D-QUBO ≫ HyCiM per iteration: {dqubo:.2e} vs {hycim:.2e}"
         );
+    }
+
+    #[test]
+    fn bank_eval_sums_per_constraint_filter_evals() {
+        let m = EnergyModel::paper();
+        let loads = [30u64, 50, 10];
+        let caps = [40u64, 60, 20];
+        let expected: f64 = loads
+            .iter()
+            .zip(&caps)
+            .map(|(&l, &c)| m.filter_eval(l, c))
+            .sum();
+        assert!((m.bank_eval(&loads, &caps) - expected).abs() < 1e-24);
+        // A 1-filter bank costs exactly one filter evaluation.
+        assert_eq!(m.bank_eval(&[30], &[40]), m.filter_eval(30, 40));
+        // More constraints cost proportionally more matchline energy.
+        assert!(m.bank_eval(&loads, &caps) > 2.0 * m.filter_eval(50, 60) * 0.9);
+    }
+
+    #[test]
+    fn infeasible_bank_iterations_skip_the_crossbar() {
+        let m = EnergyModel::paper();
+        let loads = [90u64, 40];
+        let caps = [100u64, 50];
+        let feasible = m.bank_iteration(&loads, &caps, true, 50, 7, 2000);
+        let infeasible = m.bank_iteration(&loads, &caps, false, 50, 7, 2000);
+        let saved = feasible - infeasible;
+        assert!((saved - m.crossbar_vmv(50, 7, 2000)).abs() < 1e-18);
+        // The k-filter bank pays more per iteration than one filter
+        // but far less than the D-QUBO crossbar blowup.
+        assert!(infeasible > m.hycim_iteration(90, 100, false, 50, 7, 2000) * 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "one load per bank constraint")]
+    fn bank_eval_rejects_mismatched_lengths() {
+        let _ = EnergyModel::paper().bank_eval(&[1, 2], &[3]);
     }
 
     #[test]

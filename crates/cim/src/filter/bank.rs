@@ -62,6 +62,37 @@ impl BankDecision {
     }
 
     /// Index of the first violated constraint, if any.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use hycim_cim::filter::{FilterBank, FilterConfig};
+    /// use hycim_qubo::{Assignment, LinearConstraint};
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut rng = StdRng::seed_from_u64(7);
+    /// // Noise-free filters so the doctest is exact at any seed.
+    /// let config = FilterConfig::default()
+    ///     .with_variation(hycim_fefet::VariationModel::none())
+    ///     .with_comparator(hycim_cim::filter::ComparatorConfig::ideal());
+    /// let bank = FilterBank::build(
+    ///     &[
+    ///         LinearConstraint::new(vec![3, 0, 4], 5)?,
+    ///         LinearConstraint::new(vec![0, 6, 2], 7)?,
+    ///     ],
+    ///     &config,
+    ///     &mut rng,
+    /// )?;
+    /// // x = 101: first constraint loaded to 7 > 5, second to 2 ≤ 7.
+    /// let decision = bank.classify(&Assignment::parse_bit_string("101").unwrap(), &mut rng);
+    /// assert_eq!(decision.first_violation(), Some(0));
+    /// // A feasible configuration has no violation to report.
+    /// let ok = bank.classify(&Assignment::parse_bit_string("100").unwrap(), &mut rng);
+    /// assert_eq!(ok.first_violation(), None);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn first_violation(&self) -> Option<usize> {
         self.decisions.iter().position(|d| !d.is_feasible())
     }

@@ -26,6 +26,14 @@ pub enum CopError {
         /// Number of items implied by the weight vector.
         weights: usize,
     },
+    /// A multi-constraint instance's weight-row count and capacity
+    /// count disagree (one capacity per constraint dimension).
+    DimensionCountMismatch {
+        /// Number of weight rows (constraint dimensions) supplied.
+        weight_rows: usize,
+        /// Number of capacities supplied.
+        capacities: usize,
+    },
     /// Capacity is zero.
     ZeroCapacity,
     /// An item weight is zero (items must consume capacity).
@@ -60,6 +68,13 @@ impl fmt::Display for CopError {
             CopError::SizeMismatch { profits, weights } => write!(
                 f,
                 "size mismatch: profit matrix has {profits} items, weight vector {weights}"
+            ),
+            CopError::DimensionCountMismatch {
+                weight_rows,
+                capacities,
+            } => write!(
+                f,
+                "dimension count mismatch: {weight_rows} weight rows, {capacities} capacities"
             ),
             CopError::ZeroCapacity => write!(f, "knapsack capacity is zero"),
             CopError::ZeroWeight { item } => write!(f, "item {item} has zero weight"),
@@ -108,6 +123,14 @@ mod tests {
         }
         .to_string()
         .contains("line 3"));
+        assert_eq!(
+            CopError::DimensionCountMismatch {
+                weight_rows: 2,
+                capacities: 3
+            }
+            .to_string(),
+            "dimension count mismatch: 2 weight rows, 3 capacities"
+        );
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   dynamic-programming solver.
 //! * [`binpack`] — bin packing (the paper's other motivating COP with
 //!   inequality constraints), formulated with one inequality per bin.
+//! * [`mkp`] — the multi-dimensional knapsack (one inequality per
+//!   resource dimension), the second multi-constraint workload of the
+//!   filter-bank pipeline.
 //! * [`maxcut`] — Max-Cut (the unconstrained COP family of the
 //!   paper's Table 1), lifted through a trivial constraint.
 //! * [`coloring`], [`tsp`], [`spinglass`] — the remaining Table 1
@@ -43,6 +46,7 @@ mod error;
 pub mod generator;
 pub mod knapsack;
 pub mod maxcut;
+pub mod mkp;
 pub mod parser;
 mod problem;
 mod qkp;
@@ -51,5 +55,7 @@ pub mod spinglass;
 pub mod tsp;
 
 pub use error::CopError;
-pub use problem::{coloring_penalty_weight, tsp_penalty_weight, CopProblem};
+pub use problem::{
+    bin_packing_assignment_penalty, coloring_penalty_weight, tsp_penalty_weight, CopProblem,
+};
 pub use qkp::QkpInstance;

@@ -1,0 +1,566 @@
+//! The multi-dimensional 0/1 knapsack problem (MKP): one selection,
+//! several resource budgets.
+//!
+//! Every item consumes capacity in `m` independent dimensions
+//! (weight, volume, power, …) and a selection is feasible only when
+//! **all** `m` budgets hold — a direct multi-inequality COP. On the
+//! single-filter HyCiM pipeline the MKP can only run through an
+//! aggregate relaxation (summing the dimensions into one constraint);
+//! the filter *bank* evaluates one inequality per dimension in a
+//! single matchline read, making the MKP exact in hardware. This is
+//! the workload class the paper's bin-packing motivation (Sec 1)
+//! generalizes to.
+
+use hycim_qubo::{Assignment, LinearConstraint};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::CopError;
+
+/// A multi-dimensional knapsack instance: linear profits, an
+/// `m × n` weight matrix (one row per resource dimension), and one
+/// capacity per dimension.
+///
+/// # Example
+///
+/// ```
+/// use hycim_cop::mkp::MultiKnapsack;
+/// use hycim_qubo::Assignment;
+///
+/// # fn main() -> Result<(), hycim_cop::CopError> {
+/// // 3 items, 2 resource dimensions.
+/// let mkp = MultiKnapsack::new(
+///     vec![10, 6, 8],
+///     vec![vec![4, 7, 2], vec![1, 2, 6]],
+///     vec![9, 7],
+/// )?;
+/// let x = Assignment::from_bits([true, false, true]);
+/// assert!(mkp.is_feasible(&x)); // loads (6, 7) within (9, 7)
+/// assert_eq!(mkp.value(&x), 18);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiKnapsack {
+    profits: Vec<u64>,
+    /// Row-major: `weights[d][i]` is item `i`'s consumption in
+    /// dimension `d`.
+    weights: Vec<Vec<u64>>,
+    capacities: Vec<u64>,
+}
+
+impl MultiKnapsack {
+    /// Creates an MKP instance.
+    ///
+    /// # Errors
+    ///
+    /// * [`CopError::EmptyInstance`] for zero items or zero dimensions.
+    /// * [`CopError::DimensionCountMismatch`] when the weight-row
+    ///   count and the capacity count disagree.
+    /// * [`CopError::SizeMismatch`] when a weight row disagrees with
+    ///   the profit vector on the item count.
+    /// * [`CopError::ZeroCapacity`] for a zero capacity in any
+    ///   dimension.
+    /// * [`CopError::ZeroWeight`] for an item consuming nothing in any
+    ///   dimension (it would never be filtered; give it a 1-unit
+    ///   footprint instead).
+    pub fn new(
+        profits: Vec<u64>,
+        weights: Vec<Vec<u64>>,
+        capacities: Vec<u64>,
+    ) -> Result<Self, CopError> {
+        if profits.is_empty() || weights.is_empty() {
+            return Err(CopError::EmptyInstance);
+        }
+        if weights.len() != capacities.len() {
+            return Err(CopError::DimensionCountMismatch {
+                weight_rows: weights.len(),
+                capacities: capacities.len(),
+            });
+        }
+        for row in &weights {
+            if row.len() != profits.len() {
+                return Err(CopError::SizeMismatch {
+                    profits: profits.len(),
+                    weights: row.len(),
+                });
+            }
+        }
+        if capacities.contains(&0) {
+            return Err(CopError::ZeroCapacity);
+        }
+        for i in 0..profits.len() {
+            if weights.iter().all(|row| row[i] == 0) {
+                return Err(CopError::ZeroWeight { item: i });
+            }
+        }
+        Ok(Self {
+            profits,
+            weights,
+            capacities,
+        })
+    }
+
+    /// Number of items `n`.
+    pub fn num_items(&self) -> usize {
+        self.profits.len()
+    }
+
+    /// Number of resource dimensions `m`.
+    pub fn num_dimensions(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Item profits.
+    pub fn profits(&self) -> &[u64] {
+        &self.profits
+    }
+
+    /// Weight row of one dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range.
+    pub fn weights(&self, dim: usize) -> &[u64] {
+        &self.weights[dim]
+    }
+
+    /// Per-dimension capacities.
+    pub fn capacities(&self) -> &[u64] {
+        &self.capacities
+    }
+
+    /// Profit of a selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_items()`.
+    pub fn value(&self, x: &Assignment) -> u64 {
+        assert_eq!(x.len(), self.num_items(), "selection length mismatch");
+        self.profits
+            .iter()
+            .zip(x.iter())
+            .filter(|(_, b)| *b)
+            .map(|(p, _)| *p)
+            .sum()
+    }
+
+    /// Load of one dimension under a selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is out of range or `x.len() != self.num_items()`.
+    pub fn load(&self, x: &Assignment, dim: usize) -> u64 {
+        assert_eq!(x.len(), self.num_items(), "selection length mismatch");
+        self.weights[dim]
+            .iter()
+            .zip(x.iter())
+            .filter(|(_, b)| *b)
+            .map(|(w, _)| *w)
+            .sum()
+    }
+
+    /// Whether every dimension's budget holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.num_items()`.
+    pub fn is_feasible(&self, x: &Assignment) -> bool {
+        (0..self.num_dimensions()).all(|d| self.load(x, d) <= self.capacities[d])
+    }
+
+    /// One [`LinearConstraint`] per resource dimension — the filter
+    /// bank's programming, in dimension order.
+    pub fn dimension_constraints(&self) -> Vec<LinearConstraint> {
+        self.weights
+            .iter()
+            .zip(&self.capacities)
+            .map(|(row, &cap)| {
+                LinearConstraint::new(row.clone(), cap)
+                    .expect("instance invariants guarantee a valid constraint")
+            })
+            .collect()
+    }
+
+    /// The aggregate single-constraint relaxation
+    /// `Σᵢ (Σ_d w_{d,i}) xᵢ ≤ Σ_d C_d`: necessary but not sufficient,
+    /// so the single-filter pipeline can run the MKP at the cost of
+    /// admitting some dimension-wise violations (the gap the
+    /// `fig_bank` report quantifies).
+    pub fn aggregate_constraint(&self) -> LinearConstraint {
+        let n = self.num_items();
+        let weights: Vec<u64> = (0..n)
+            .map(|i| self.weights.iter().map(|row| row[i]).sum())
+            .collect();
+        let capacity = self.capacities.iter().sum();
+        LinearConstraint::new(weights, capacity)
+            .expect("instance invariants guarantee a valid constraint")
+    }
+
+    /// Exhaustive optimum for small instances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CopError::TooLarge`] for more than 25 items.
+    pub fn solve_exact(&self) -> Result<(Assignment, u64), CopError> {
+        let n = self.num_items();
+        const LIMIT: usize = 25;
+        if n > LIMIT {
+            return Err(CopError::TooLarge {
+                items: n,
+                limit: LIMIT,
+            });
+        }
+        let mut best_x = Assignment::zeros(n);
+        let mut best_v = 0u64;
+        for bits in 0u64..(1 << n) {
+            let x = Assignment::from_bits((0..n).map(|i| bits >> i & 1 == 1));
+            if self.is_feasible(&x) {
+                let v = self.value(&x);
+                if v > best_v {
+                    best_v = v;
+                    best_x = x;
+                }
+            }
+        }
+        Ok((best_x, best_v))
+    }
+
+    /// Greedy construction: repeatedly inserts the fitting item with
+    /// the best profit per unit of (normalized) aggregate consumption.
+    /// The standard MKP surrogate-density heuristic; always feasible.
+    pub fn greedy(&self) -> Assignment {
+        let n = self.num_items();
+        let m = self.num_dimensions();
+        let mut x = Assignment::zeros(n);
+        let mut loads = vec![0u64; m];
+        let mut remaining: Vec<usize> = (0..n).collect();
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for (pos, &i) in remaining.iter().enumerate() {
+                if (0..m).any(|d| loads[d] + self.weights[d][i] > self.capacities[d]) {
+                    continue;
+                }
+                // Normalize each dimension by its capacity so a tight
+                // dimension dominates the density.
+                let cost: f64 = (0..m)
+                    .map(|d| self.weights[d][i] as f64 / self.capacities[d] as f64)
+                    .sum();
+                let density = self.profits[i] as f64 / cost.max(f64::MIN_POSITIVE);
+                if best.map(|(_, d)| density > d).unwrap_or(true) {
+                    best = Some((pos, density));
+                }
+            }
+            match best {
+                Some((pos, _)) => {
+                    let i = remaining.swap_remove(pos);
+                    x.set(i, true);
+                    for (load, row) in loads.iter_mut().zip(&self.weights) {
+                        *load += row[i];
+                    }
+                }
+                None => break,
+            }
+        }
+        x
+    }
+
+    /// Reference value: the exhaustive optimum up to 25 items, the
+    /// greedy value beyond.
+    pub fn reference_value(&self) -> u64 {
+        match self.solve_exact() {
+            Ok((_, opt)) => opt,
+            Err(_) => self.value(&self.greedy()),
+        }
+    }
+
+    /// Draws a random feasible selection by shuffled insertion
+    /// against all dimension budgets.
+    pub fn random_feasible<R: Rng + ?Sized>(&self, rng: &mut R) -> Assignment {
+        let n = self.num_items();
+        let m = self.num_dimensions();
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut x = Assignment::zeros(n);
+        let mut loads = vec![0u64; m];
+        for i in order {
+            let fits = (0..m).all(|d| loads[d] + self.weights[d][i] <= self.capacities[d]);
+            if fits && rng.random_bool(0.7) {
+                x.set(i, true);
+                for (load, row) in loads.iter_mut().zip(&self.weights) {
+                    *load += row[i];
+                }
+            }
+        }
+        x
+    }
+}
+
+/// Seeded generator of MKP instances with filter-mappable magnitudes:
+/// per-dimension weights within the filter's 64-unit column budget and
+/// capacities drawn as a fraction of the dimension's total weight.
+///
+/// # Example
+///
+/// ```
+/// use hycim_cop::mkp::MkpGenerator;
+///
+/// let inst = MkpGenerator::new(12, 3).generate(7);
+/// assert_eq!(inst.num_items(), 12);
+/// assert_eq!(inst.num_dimensions(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MkpGenerator {
+    n: usize,
+    dims: usize,
+    max_profit: u64,
+    max_weight: u64,
+    tightness: f64,
+}
+
+impl MkpGenerator {
+    /// Creates a generator for `n`-item, `dims`-dimension instances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `dims == 0`.
+    pub fn new(n: usize, dims: usize) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!(dims > 0, "need at least one dimension");
+        Self {
+            n,
+            dims,
+            max_profit: 100,
+            max_weight: 20,
+            tightness: 0.5,
+        }
+    }
+
+    /// Overrides the maximum per-dimension item weight (default 20,
+    /// comfortably below the filter's 64-unit column budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_weight == 0`.
+    pub fn with_max_weight(mut self, max_weight: u64) -> Self {
+        assert!(max_weight > 0, "max weight must be positive");
+        self.max_weight = max_weight;
+        self
+    }
+
+    /// Overrides the maximum item profit (default 100).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_profit == 0`.
+    pub fn with_max_profit(mut self, max_profit: u64) -> Self {
+        assert!(max_profit > 0, "max profit must be positive");
+        self.max_profit = max_profit;
+        self
+    }
+
+    /// Overrides the capacity tightness: each dimension's capacity is
+    /// `tightness × Σᵢ w_{d,i}` (default 0.5, the classic
+    /// Chu–Beasley setting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tightness` is outside `(0.0, 1.0]`.
+    pub fn with_tightness(mut self, tightness: f64) -> Self {
+        assert!(
+            tightness > 0.0 && tightness <= 1.0,
+            "tightness must be in (0, 1], got {tightness}"
+        );
+        self.tightness = tightness;
+        self
+    }
+
+    /// Generates one instance deterministically from `seed`.
+    pub fn generate(&self, seed: u64) -> MultiKnapsack {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let profits: Vec<u64> = (0..self.n)
+            .map(|_| rng.random_range(1..=self.max_profit))
+            .collect();
+        let weights: Vec<Vec<u64>> = (0..self.dims)
+            .map(|_| {
+                (0..self.n)
+                    .map(|_| rng.random_range(1..=self.max_weight))
+                    .collect()
+            })
+            .collect();
+        let capacities: Vec<u64> = weights
+            .iter()
+            .map(|row| {
+                let total: u64 = row.iter().sum();
+                let max_w = *row.iter().max().expect("n > 0");
+                // Tightness-scaled, but always fitting the heaviest
+                // single item and never trivial.
+                (((total as f64) * self.tightness) as u64)
+                    .max(max_w)
+                    .min(total.saturating_sub(1).max(max_w))
+            })
+            .collect();
+        MultiKnapsack::new(profits, weights, capacities)
+            .expect("generator invariants yield a valid instance")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> MultiKnapsack {
+        MultiKnapsack::new(
+            vec![10, 6, 8],
+            vec![vec![4, 7, 2], vec![1, 2, 6]],
+            vec![9, 7],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(matches!(
+            MultiKnapsack::new(vec![], vec![], vec![]),
+            Err(CopError::EmptyInstance)
+        ));
+        assert!(matches!(
+            MultiKnapsack::new(vec![1], vec![vec![1]], vec![1, 2]),
+            Err(CopError::DimensionCountMismatch {
+                weight_rows: 1,
+                capacities: 2
+            })
+        ));
+        assert!(matches!(
+            MultiKnapsack::new(vec![1, 2], vec![vec![1]], vec![5]),
+            Err(CopError::SizeMismatch { .. })
+        ));
+        assert!(matches!(
+            MultiKnapsack::new(vec![1], vec![vec![1]], vec![0]),
+            Err(CopError::ZeroCapacity)
+        ));
+        assert!(matches!(
+            MultiKnapsack::new(vec![1, 2], vec![vec![1, 0], vec![1, 0]], vec![5, 5]),
+            Err(CopError::ZeroWeight { item: 1 })
+        ));
+        // Zero in one dimension is fine if another dimension charges it.
+        assert!(MultiKnapsack::new(vec![1, 2], vec![vec![1, 0], vec![0, 3]], vec![5, 5]).is_ok());
+    }
+
+    #[test]
+    fn feasibility_needs_every_dimension() {
+        let mkp = example();
+        // Items 0 and 1: dim-0 load 11 > 9.
+        assert!(!mkp.is_feasible(&Assignment::from_bits([true, true, false])));
+        // Items 1 and 2: dim-0 load 9 ≤ 9 but dim-1 load 8 > 7.
+        assert!(!mkp.is_feasible(&Assignment::from_bits([false, true, true])));
+        // Items 0 and 2: loads (6, 7) — both within budget.
+        let ok = Assignment::from_bits([true, false, true]);
+        assert!(mkp.is_feasible(&ok));
+        assert_eq!(mkp.load(&ok, 0), 6);
+        assert_eq!(mkp.load(&ok, 1), 7);
+    }
+
+    #[test]
+    fn dimension_constraints_match_domain_arithmetic() {
+        let mkp = example();
+        let cons = mkp.dimension_constraints();
+        assert_eq!(cons.len(), 2);
+        for bits in 0u64..8 {
+            let x = Assignment::from_bits((0..3).map(|i| bits >> i & 1 == 1));
+            assert_eq!(
+                cons.iter().all(|c| c.is_satisfied(&x)),
+                mkp.is_feasible(&x),
+                "constraint mismatch at {x}"
+            );
+            for (d, c) in cons.iter().enumerate() {
+                assert_eq!(c.load(&x), mkp.load(&x, d));
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_constraint_is_a_relaxation() {
+        let mkp = example();
+        let agg = mkp.aggregate_constraint();
+        assert_eq!(agg.capacity(), 16);
+        assert_eq!(agg.weights(), &[5, 9, 8]);
+        for bits in 0u64..8 {
+            let x = Assignment::from_bits((0..3).map(|i| bits >> i & 1 == 1));
+            if mkp.is_feasible(&x) {
+                assert!(agg.is_satisfied(&x), "relaxation rejected a feasible {x}");
+            }
+        }
+        // And it is a *strict* relaxation on this instance: items 1+2
+        // pass the aggregate (17 > 16? no: 9+8=17 > 16 → rejected).
+        // Items 0+1 load 14 ≤ 16 aggregate but violate dim 0.
+        let x = Assignment::from_bits([true, true, false]);
+        assert!(agg.is_satisfied(&x) && !mkp.is_feasible(&x));
+    }
+
+    #[test]
+    fn exact_solver_finds_optimum() {
+        let mkp = example();
+        let (x, v) = mkp.solve_exact().unwrap();
+        assert_eq!(v, 18);
+        assert_eq!(x, Assignment::from_bits([true, false, true]));
+        assert_eq!(mkp.reference_value(), 18);
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_bounded() {
+        for seed in 0..10 {
+            let mkp = MkpGenerator::new(12, 3).generate(seed);
+            let g = mkp.greedy();
+            assert!(mkp.is_feasible(&g), "greedy infeasible at seed {seed}");
+            let (_, opt) = mkp.solve_exact().unwrap();
+            assert!(mkp.value(&g) <= opt);
+            assert!(
+                mkp.value(&g) as f64 >= 0.5 * opt as f64,
+                "greedy {} below half of optimum {opt} at seed {seed}",
+                mkp.value(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn random_feasible_respects_every_budget() {
+        let mkp = MkpGenerator::new(20, 4).generate(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            assert!(mkp.is_feasible(&mkp.random_feasible(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_in_range() {
+        let generator = MkpGenerator::new(15, 2)
+            .with_max_weight(10)
+            .with_max_profit(30)
+            .with_tightness(0.4);
+        assert_eq!(generator.generate(1), generator.generate(1));
+        assert_ne!(generator.generate(1), generator.generate(2));
+        let inst = generator.generate(5);
+        assert!(inst.profits().iter().all(|&p| (1..=30).contains(&p)));
+        for d in 0..2 {
+            assert!(inst.weights(d).iter().all(|&w| (1..=10).contains(&w)));
+            let total: u64 = inst.weights(d).iter().sum();
+            assert!(inst.capacities()[d] < total, "trivial dimension {d}");
+            assert!(inst.capacities()[d] >= *inst.weights(d).iter().max().unwrap());
+        }
+    }
+
+    #[test]
+    fn exact_solver_rejects_large() {
+        let mkp = MkpGenerator::new(30, 2).generate(1);
+        assert!(matches!(
+            mkp.solve_exact(),
+            Err(CopError::TooLarge { items: 30, .. })
+        ));
+        // Reference value falls back to greedy.
+        assert_eq!(mkp.reference_value(), mkp.value(&mkp.greedy()));
+    }
+}

@@ -1,8 +1,10 @@
 //! Reader/writer for the CNAM QKP text format \[28\]
 //! (`http://cedric.cnam.fr/~soutif/QKP/`), so the paper's original 40
-//! benchmark instances can be used verbatim when available.
+//! benchmark instances can be used verbatim when available, plus a
+//! minimal single-instance multi-dimensional knapsack format
+//! ([`parse_mkp`]/[`write_mkp`]).
 //!
-//! Format (whitespace-flexible):
+//! QKP format (whitespace-flexible):
 //!
 //! ```text
 //! <reference name>
@@ -14,7 +16,19 @@
 //! <capacity>
 //! <n item weights>
 //! ```
+//!
+//! MKP format (one instance per file; simpler than the OR-Library
+//! `mknap` files, which prefix a problem count and carry an
+//! optimal-value field — convert those before loading):
+//!
+//! ```text
+//! <n> <m>
+//! <n profits>
+//! <m lines: n weights of one dimension>
+//! <m capacities>
+//! ```
 
+use crate::mkp::MultiKnapsack;
 use crate::{CopError, QkpInstance};
 
 /// Parses a QKP instance from CNAM text format.
@@ -172,10 +186,91 @@ pub fn write_qkp(inst: &QkpInstance) -> String {
     out
 }
 
+/// Parses a multi-dimensional knapsack instance from the module-level
+/// MKP text layout (`<n> <m>`, `n` profits, `m` weight rows of `n`
+/// entries each, `m` capacities; whitespace-flexible — numbers may
+/// wrap across lines). Genuine OR-Library `mknap` files bundle many
+/// instances with extra header/optimal-value fields and must be split
+/// into this shape first.
+///
+/// # Errors
+///
+/// Returns [`CopError::ParseFailure`] (with the 1-based source line
+/// of the offending token, or 0 for a truncated file) on any
+/// structural or numeric error, and propagates instance-validation
+/// errors from [`MultiKnapsack::new`].
+///
+/// # Example
+///
+/// ```
+/// use hycim_cop::parser::{parse_mkp, write_mkp};
+/// use hycim_cop::mkp::MultiKnapsack;
+///
+/// # fn main() -> Result<(), hycim_cop::CopError> {
+/// let inst = MultiKnapsack::new(
+///     vec![10, 6, 8],
+///     vec![vec![4, 7, 2], vec![1, 2, 6]],
+///     vec![9, 7],
+/// )?;
+/// assert_eq!(parse_mkp(&write_mkp(&inst))?, inst);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_mkp(text: &str) -> Result<MultiKnapsack, CopError> {
+    // The layout is token-oriented: read numbers in order, keeping
+    // only the source line of each token for error reporting.
+    let mut tokens = text
+        .lines()
+        .enumerate()
+        .flat_map(|(idx, l)| l.split_whitespace().map(move |tok| (idx + 1, tok)));
+    let mut next = |what: &str| -> Result<u64, CopError> {
+        let (line, tok) = tokens.next().ok_or_else(|| CopError::ParseFailure {
+            line: 0,
+            reason: format!("unexpected end of file, expected {what}"),
+        })?;
+        tok.parse::<u64>().map_err(|_| CopError::ParseFailure {
+            line,
+            reason: format!("invalid {what} value {tok:?}"),
+        })
+    };
+
+    let n = next("item count")? as usize;
+    let m = next("dimension count")? as usize;
+    if n == 0 || m == 0 {
+        return Err(CopError::ParseFailure {
+            line: 1,
+            reason: format!("degenerate shape {n}×{m}"),
+        });
+    }
+    let profits: Vec<u64> = (0..n).map(|_| next("profit")).collect::<Result<_, _>>()?;
+    let weights: Vec<Vec<u64>> = (0..m)
+        .map(|_| (0..n).map(|_| next("weight")).collect())
+        .collect::<Result<_, _>>()?;
+    let capacities: Vec<u64> = (0..m).map(|_| next("capacity")).collect::<Result<_, _>>()?;
+    MultiKnapsack::new(profits, weights, capacities)
+}
+
+/// Serializes a multi-dimensional knapsack instance to the OR-Library
+/// `mknap` text layout.
+pub fn write_mkp(inst: &MultiKnapsack) -> String {
+    let join = |xs: &[u64]| xs.iter().map(u64::to_string).collect::<Vec<_>>().join(" ");
+    let mut out = format!("{} {}\n", inst.num_items(), inst.num_dimensions());
+    out.push_str(&join(inst.profits()));
+    out.push('\n');
+    for d in 0..inst.num_dimensions() {
+        out.push_str(&join(inst.weights(d)));
+        out.push('\n');
+    }
+    out.push_str(&join(inst.capacities()));
+    out.push('\n');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::generator::QkpGenerator;
+    use crate::mkp::MkpGenerator;
 
     const SAMPLE: &str = "\
 jeu_3_100_1
@@ -244,5 +339,68 @@ jeu_3_100_1
             parse_qkp(&bad),
             Err(CopError::ParseFailure { .. })
         ));
+    }
+
+    const MKP_SAMPLE: &str = "\
+3 2
+10 6 8
+4 7 2
+1 2 6
+9 7
+";
+
+    #[test]
+    fn parses_mkp_sample() {
+        let inst = parse_mkp(MKP_SAMPLE).unwrap();
+        assert_eq!(inst.num_items(), 3);
+        assert_eq!(inst.num_dimensions(), 2);
+        assert_eq!(inst.profits(), &[10, 6, 8]);
+        assert_eq!(inst.weights(0), &[4, 7, 2]);
+        assert_eq!(inst.weights(1), &[1, 2, 6]);
+        assert_eq!(inst.capacities(), &[9, 7]);
+    }
+
+    #[test]
+    fn mkp_tokens_may_wrap_lines() {
+        let wrapped = "3 2\n10 6\n8\n4 7 2 1 2 6\n9\n7\n";
+        assert_eq!(parse_mkp(wrapped).unwrap(), parse_mkp(MKP_SAMPLE).unwrap());
+    }
+
+    #[test]
+    fn roundtrip_generated_mkp_instances() {
+        for seed in 0..5 {
+            let inst = MkpGenerator::new(14, 3).generate(seed);
+            assert_eq!(parse_mkp(&write_mkp(&inst)).unwrap(), inst);
+        }
+    }
+
+    #[test]
+    fn mkp_rejects_truncated_and_non_numeric() {
+        assert!(matches!(
+            parse_mkp("3 2\n10 6 8\n4 7 2\n"),
+            Err(CopError::ParseFailure { line: 0, .. })
+        ));
+        assert!(matches!(
+            parse_mkp(&MKP_SAMPLE.replace('7', "x")),
+            Err(CopError::ParseFailure { .. })
+        ));
+        assert!(matches!(
+            parse_mkp("0 2\n"),
+            Err(CopError::ParseFailure { .. })
+        ));
+    }
+
+    #[test]
+    fn mkp_errors_report_the_source_line() {
+        // Corrupt the capacity row (line 5 of the sample layout): the
+        // error must name that line, not a token index.
+        let bad = MKP_SAMPLE.replace("9 7", "9 x");
+        match parse_mkp(&bad) {
+            Err(CopError::ParseFailure { line, reason }) => {
+                assert_eq!(line, 5, "wrong source line: {reason}");
+                assert!(reason.contains("capacity"));
+            }
+            other => panic!("expected a parse failure, got {other:?}"),
+        }
     }
 }

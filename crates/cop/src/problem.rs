@@ -50,7 +50,7 @@
 use std::fmt;
 
 use hycim_qubo::dqubo::{AuxEncoding, DquboForm, PenaltyWeights};
-use hycim_qubo::{Assignment, InequalityQubo, LinearConstraint, QuboMatrix};
+use hycim_qubo::{Assignment, InequalityQubo, LinearConstraint, MultiInequalityQubo, QuboMatrix};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -58,6 +58,7 @@ use crate::binpack::BinPacking;
 use crate::coloring::GraphColoring;
 use crate::knapsack::Knapsack;
 use crate::maxcut::MaxCut;
+use crate::mkp::MultiKnapsack;
 use crate::spinglass::SpinGlass;
 use crate::tsp::Tsp;
 use crate::{solvers, CopError, QkpInstance};
@@ -116,6 +117,22 @@ pub trait CopProblem: Clone + Send + Sync + fmt::Debug {
     /// Returns [`CopError`] when the instance cannot be encoded.
     fn to_inequality_qubo(&self) -> Result<InequalityQubo, CopError>;
 
+    /// Encodes the problem into the multi-constraint form
+    /// `min ∏ₖ(Σw⁽ᵏ⁾ᵢxᵢ ≤ C⁽ᵏ⁾)·xᵀQx` driven by a hardware filter
+    /// *bank* (one filter per constraint). The default wraps the
+    /// single-constraint encoding as a 1-element bank; problems with
+    /// genuinely multiple inequalities (bin packing, the
+    /// multi-dimensional knapsack) override it with their exact
+    /// per-constraint form — on this path no aggregate relaxation is
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CopError`] when the instance cannot be encoded.
+    fn to_multi_inequality_qubo(&self) -> Result<MultiInequalityQubo, CopError> {
+        Ok(MultiInequalityQubo::from(self.to_inequality_qubo()?))
+    }
+
     /// Encodes a domain solution into a configuration.
     ///
     /// # Panics
@@ -152,8 +169,9 @@ pub trait CopProblem: Clone + Send + Sync + fmt::Debug {
     }
 
     /// A random configuration satisfying the *encoded inequality
-    /// constraint* (the filter's admission criterion), used as the SA
-    /// starting point.
+    /// constraints* (the filter's admission criterion — all of them,
+    /// so the same start works for the single-filter pipeline and the
+    /// filter-bank pipeline), used as the SA starting point.
     fn initial(&self, rng: &mut StdRng) -> Assignment;
 
     /// Reference objective from an exact or heuristic solver, when one
@@ -229,6 +247,22 @@ pub fn tsp_penalty_weight(tsp: &Tsp) -> f64 {
 /// instance so adaptive calibration can slot in without an API
 /// change.
 pub fn coloring_penalty_weight(_gc: &GraphColoring) -> f64 {
+    4.0
+}
+
+/// Penalty weight of the exact-one-bin assignment expansion on the
+/// filter-bank encoding of bin packing.
+///
+/// Derivation: on the bank path every bin capacity is enforced by its
+/// own filter, so — like coloring — the QUBO is a pure feasibility
+/// objective with no competing profit term; any positive weight
+/// encodes "each item in exactly one bin" exactly, and the weight
+/// only sets the energy gap per missing/duplicated assignment. The
+/// fixed 4.0 keeps single-violation deltas above crossbar readout
+/// noise while keeping the quantized matrix range small (the whole
+/// point of the filter architecture). The helper takes the instance
+/// so adaptive calibration can slot in without an API change.
+pub fn bin_packing_assignment_penalty(_bp: &BinPacking) -> f64 {
     4.0
 }
 
@@ -646,9 +680,9 @@ impl CopProblem for BinPacking {
         // The single-filter pipeline encodes the *aggregate* capacity
         // Σᵢⱼ sᵢ·x_{i,k} ≤ bins·C (a necessary relaxation of the
         // per-bin bank in `bin_constraints`); per-bin balance is
-        // steered by a quadratic load term in the objective. Driving
-        // each bin through its own filter needs the `hycim-cim`
-        // filter-bank hardware — see ROADMAP.
+        // steered by a quadratic load term in the objective. The exact
+        // per-bin form is `to_multi_inequality_qubo`, driven by the
+        // filter-bank pipeline (`BankEngine` in `hycim-core`).
         let q = self.packing_objective();
         let mut weights = vec![0u64; BinPacking::dim(self)];
         for i in 0..self.num_items() {
@@ -659,6 +693,16 @@ impl CopProblem for BinPacking {
         let aggregate = self.capacity() * self.num_bins() as u64;
         let constraint = LinearConstraint::new(weights, aggregate).map_err(CopError::from)?;
         InequalityQubo::new(q, constraint).map_err(CopError::from)
+    }
+
+    fn to_multi_inequality_qubo(&self) -> Result<MultiInequalityQubo, CopError> {
+        // The exact encoding: one capacity inequality per bin, gated
+        // in hardware by one filter each. The load-balance relaxation
+        // of the single-filter path is *dropped* — the bank enforces
+        // every bin's capacity directly, so the objective only has to
+        // place each item in exactly one bin.
+        let q = self.assignment_objective(bin_packing_assignment_penalty(self));
+        MultiInequalityQubo::new(q, self.bin_constraints()).map_err(CopError::from)
     }
 
     fn encode(&self, decoded: &Vec<usize>) -> Assignment {
@@ -733,6 +777,77 @@ impl CopProblem for BinPacking {
 
     fn reference_objective(&self, _seed: u64) -> Option<f64> {
         self.first_fit_decreasing().map(|_| 0.0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multi-dimensional knapsack (one inequality per resource dimension)
+// ---------------------------------------------------------------------
+
+impl CopProblem for MultiKnapsack {
+    type Decoded = Assignment;
+
+    fn kind(&self) -> &'static str {
+        "mkp"
+    }
+
+    fn name(&self) -> String {
+        format!("mkp-n{}m{}", self.num_items(), self.num_dimensions())
+    }
+
+    fn dim(&self) -> usize {
+        self.num_items()
+    }
+
+    fn to_inequality_qubo(&self) -> Result<InequalityQubo, CopError> {
+        // The single-filter pipeline can only hold one inequality, so
+        // it runs the *aggregate relaxation* (summed weights against
+        // summed capacities): every MKP-feasible selection passes, but
+        // some dimension-wise violations slip through and surface as
+        // infeasible solutions. The exact per-dimension form is
+        // `to_multi_inequality_qubo` on the filter-bank pipeline.
+        InequalityQubo::new(self.profit_objective(), self.aggregate_constraint())
+            .map_err(CopError::from)
+    }
+
+    fn to_multi_inequality_qubo(&self) -> Result<MultiInequalityQubo, CopError> {
+        MultiInequalityQubo::new(self.profit_objective(), self.dimension_constraints())
+            .map_err(CopError::from)
+    }
+
+    fn encode(&self, decoded: &Assignment) -> Assignment {
+        assert_eq!(decoded.len(), self.num_items(), "selection length mismatch");
+        decoded.clone()
+    }
+
+    fn decode(&self, x: &Assignment) -> Option<Assignment> {
+        assert_eq!(x.len(), self.num_items(), "assignment length mismatch");
+        Some(x.clone())
+    }
+
+    fn objective(&self, x: &Assignment) -> f64 {
+        // Gated like the other knapsacks (paper Eq. 6): infeasible in
+        // *any* dimension scores 0, worse than any profitable
+        // selection.
+        if MultiKnapsack::is_feasible(self, x) {
+            -(self.value(x) as f64)
+        } else {
+            0.0
+        }
+    }
+
+    fn is_feasible(&self, x: &Assignment) -> bool {
+        MultiKnapsack::is_feasible(self, x)
+    }
+
+    fn initial(&self, rng: &mut StdRng) -> Assignment {
+        // Feasible in every dimension, hence also under the aggregate
+        // relaxation — one start serves both pipelines.
+        self.random_feasible(rng)
+    }
+
+    fn reference_objective(&self, _seed: u64) -> Option<f64> {
+        Some(-(self.reference_value() as f64))
     }
 }
 
@@ -812,6 +927,19 @@ impl CopProblem for InequalityQubo {
 // ---------------------------------------------------------------------
 // Helpers used by the implementations above
 // ---------------------------------------------------------------------
+
+impl MultiKnapsack {
+    /// The MKP's QUBO objective: negated linear profits on the
+    /// diagonal (no pair terms — the MKP is linear in the profits; the
+    /// constraints carry all the structure).
+    pub fn profit_objective(&self) -> QuboMatrix {
+        let mut q = QuboMatrix::zeros(self.num_items());
+        for (i, &p) in self.profits().iter().enumerate() {
+            q.set(i, i, -(p as f64));
+        }
+        q
+    }
+}
 
 impl BinPacking {
     /// QUBO objective of the single-filter encoding: the exact-one-bin
@@ -1015,6 +1143,81 @@ mod tests {
         let x = iq.initial(&mut r);
         assert!(CopProblem::is_feasible(&iq, &x));
         assert_eq!(CopProblem::objective(&iq, &x), iq.energy(&x));
+    }
+
+    #[test]
+    fn multi_form_defaults_to_the_single_constraint() {
+        let qkp = crate::generator::QkpGenerator::new(10, 0.5).generate(2);
+        let iq = CopProblem::to_inequality_qubo(&qkp).unwrap();
+        let mq = qkp.to_multi_inequality_qubo().unwrap();
+        assert_eq!(mq.num_constraints(), 1);
+        assert_eq!(mq.as_single(), Some(iq));
+    }
+
+    #[test]
+    fn binpack_multi_form_is_exact_per_bin() {
+        let bp = BinPacking::new(vec![4, 5, 3, 6], 9, 2).unwrap();
+        let mq = bp.to_multi_inequality_qubo().unwrap();
+        assert_eq!(mq.num_constraints(), 2);
+        assert_eq!(mq.dim(), bp.dim());
+        // Multi-form feasibility = per-bin capacity feasibility: the
+        // overload that slips through the aggregate relaxation is
+        // gated out here.
+        let overload = CopProblem::encode(&bp, &vec![0, 0, 0, 1]); // bin 0: 12 > 9
+        let iq = CopProblem::to_inequality_qubo(&bp).unwrap();
+        assert!(iq.is_feasible(&overload), "aggregate admits the overload");
+        assert!(!mq.is_feasible(&overload), "bank rejects it");
+        assert_eq!(mq.first_violation(&overload), Some(0));
+        // A valid packing passes every gate, and the objective
+        // (assignment penalty only — no load-balance term) is at its
+        // minimum there.
+        let valid = CopProblem::encode(&bp, &vec![0, 0, 1, 1]);
+        assert!(mq.is_feasible(&valid));
+        let per_item = bin_packing_assignment_penalty(&bp);
+        assert_eq!(
+            mq.objective_energy(&valid),
+            -per_item * bp.num_items() as f64
+        );
+        // Every initial start satisfies the whole bank.
+        let mut r = rng(9);
+        for _ in 0..10 {
+            assert!(mq.is_feasible(&bp.initial(&mut r)));
+        }
+    }
+
+    #[test]
+    fn mkp_objective_is_gated_and_forms_agree() {
+        let mkp = crate::mkp::MultiKnapsack::new(
+            vec![10, 6, 8],
+            vec![vec![4, 7, 2], vec![1, 2, 6]],
+            vec![9, 7],
+        )
+        .unwrap();
+        let mq = mkp.to_multi_inequality_qubo().unwrap();
+        assert_eq!(mq.num_constraints(), 2);
+        let ok = Assignment::from_bits([true, false, true]);
+        assert_eq!(CopProblem::objective(&mkp, &ok), -18.0);
+        assert_eq!(mq.energy(&ok), -18.0);
+        // Dimension-0 violation (11 > 9): gated to 0 in the multi form
+        // and the trait objective, but the aggregate relaxation
+        // (14 ≤ 16) admits it.
+        let bad = Assignment::from_bits([true, true, false]);
+        assert_eq!(CopProblem::objective(&mkp, &bad), 0.0);
+        assert_eq!(mq.energy(&bad), 0.0);
+        assert!(!CopProblem::is_feasible(&mkp, &bad));
+        let iq = CopProblem::to_inequality_qubo(&mkp).unwrap();
+        assert!(iq.is_feasible(&bad));
+        // Round trip + reference.
+        let d = CopProblem::decode(&mkp, &ok).unwrap();
+        assert_eq!(CopProblem::encode(&mkp, &d), ok);
+        assert_eq!(mkp.reference_objective(0), Some(-18.0));
+        // Initial starts satisfy every dimension.
+        let mut r = rng(10);
+        for _ in 0..10 {
+            let x = mkp.initial(&mut r);
+            assert!(mq.is_feasible(&x));
+            assert!(iq.is_feasible(&x));
+        }
     }
 
     #[test]

@@ -1,10 +1,12 @@
 //! Property-based tests of the COP layer, including the
 //! encode/decode round-trip laws of the [`CopProblem`] trait.
 
+use hycim_cop::binpack::BinPacking;
 use hycim_cop::coloring::GraphColoring;
 use hycim_cop::generator::QkpGenerator;
 use hycim_cop::knapsack::Knapsack;
 use hycim_cop::maxcut::MaxCut;
+use hycim_cop::mkp::MkpGenerator;
 use hycim_cop::{parser, solvers, CopProblem, QkpInstance};
 use hycim_qubo::Assignment;
 use proptest::prelude::*;
@@ -206,6 +208,77 @@ proptest! {
             0.0
         };
         prop_assert_eq!(CopProblem::objective(&ks, &encoded), expected);
+    }
+
+    /// Bin packing: any bin-index vector round-trips through
+    /// encode/decode; feasibility of the encoding equals validity of
+    /// the packing; and the multi-constraint (filter-bank) form gates
+    /// exactly the per-bin capacity violations.
+    #[test]
+    fn binpack_roundtrip_preserves_feasibility_and_objective(
+        sizes in proptest::collection::vec(1u64..=9, 1..8),
+        bins in 1usize..4,
+        cap in 1u64..=20,
+        x_seed in any::<u64>(),
+    ) {
+        let max_size = *sizes.iter().max().expect("non-empty");
+        let bp = BinPacking::new(sizes, cap.max(max_size), bins).expect("valid");
+        let mut rng = StdRng::seed_from_u64(x_seed);
+        use rand::Rng;
+        let assignment: Vec<usize> =
+            (0..bp.num_items()).map(|_| rng.random_range(0..bins)).collect();
+        let encoded = CopProblem::encode(&bp, &assignment);
+        let decoded =
+            CopProblem::decode(&bp, &encoded).expect("one bin per item decodes");
+        prop_assert_eq!(&decoded, &assignment);
+        // Feasibility ⇔ valid packing (every bin within capacity; the
+        // exact-one-bin shape holds by construction here).
+        prop_assert_eq!(
+            CopProblem::is_feasible(&bp, &encoded),
+            bp.is_valid_packing(&encoded)
+        );
+        // The trait objective counts exactly the total overflow for
+        // structurally valid assignments.
+        let overflow: u64 = (0..bins)
+            .map(|k| bp.bin_load(&encoded, k).saturating_sub(bp.capacity()))
+            .sum();
+        prop_assert_eq!(CopProblem::objective(&bp, &encoded), overflow as f64);
+        // The multi-constraint form agrees with the domain on per-bin
+        // capacity feasibility.
+        let mq = bp.to_multi_inequality_qubo().expect("encodable");
+        prop_assert_eq!(mq.is_feasible(&encoded), overflow == 0);
+    }
+
+    /// MKP: any selection round-trips; the trait objective is the
+    /// gated negated profit; and the multi-constraint form agrees
+    /// with the domain feasibility while the aggregate single form is
+    /// a relaxation of it.
+    #[test]
+    fn mkp_roundtrip_and_encoding_laws(
+        n in 1usize..10,
+        dims in 1usize..4,
+        inst_seed in any::<u64>(),
+        x_seed in any::<u64>(),
+    ) {
+        let mkp = MkpGenerator::new(n, dims).generate(inst_seed);
+        let mut rng = StdRng::seed_from_u64(x_seed);
+        let selection = hycim_qubo::Assignment::random(n, &mut rng);
+        let encoded = CopProblem::encode(&mkp, &selection);
+        prop_assert_eq!(
+            CopProblem::decode(&mkp, &encoded).expect("selections decode"),
+            selection.clone()
+        );
+        let feasible = mkp.is_feasible(&selection);
+        prop_assert_eq!(CopProblem::is_feasible(&mkp, &encoded), feasible);
+        let expected = if feasible { -(mkp.value(&selection) as f64) } else { 0.0 };
+        prop_assert_eq!(CopProblem::objective(&mkp, &encoded), expected);
+        let mq = mkp.to_multi_inequality_qubo().expect("encodable");
+        prop_assert_eq!(mq.is_feasible(&encoded), feasible);
+        prop_assert_eq!(mq.energy(&encoded), expected);
+        if feasible {
+            let iq = CopProblem::to_inequality_qubo(&mkp).expect("encodable");
+            prop_assert!(iq.is_feasible(&encoded), "relaxation must admit feasible");
+        }
     }
 
     /// The inequality-QUBO encoding agrees with the trait objective on

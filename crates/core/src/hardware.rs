@@ -11,11 +11,11 @@
 
 use hycim_anneal::{AnnealState, FlipOutcome};
 use hycim_cim::crossbar::{Crossbar, CrossbarConfig};
-use hycim_cim::filter::{FilterConfig, InequalityFilter};
+use hycim_cim::filter::{FilterBank, FilterConfig, InequalityFilter};
 use hycim_cim::CimError;
 use hycim_qubo::dqubo::DquboForm;
 use hycim_qubo::quant::QuantizedMatrix;
-use hycim_qubo::{Assignment, InequalityQubo, QuboMatrix};
+use hycim_qubo::{Assignment, InequalityQubo, MultiInequalityQubo, QuboMatrix};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -185,6 +185,203 @@ impl AnnealState for HyCimHardwareState {
         // again. Two extra filter reads make a rare noisy
         // false-feasible admission vanishingly unlikely to persist.
         (0..2).all(|_| self.filter.classify_load(self.load, rng).is_feasible())
+    }
+}
+
+/// The multi-constraint HyCiM pipeline state: a [`FilterBank`] (one
+/// inequality filter per constraint) + CiM crossbar + SA bookkeeping.
+///
+/// The single-filter [`HyCimHardwareState`] can only gate one
+/// inequality, which forces multi-constraint COPs (bin packing, the
+/// multi-dimensional knapsack) onto aggregate-capacity relaxations.
+/// This state programs the *exact* per-constraint form: every
+/// proposed flip is classified by all `k` filters concurrently (in
+/// hardware the bank shares one 4-phase matchline read, so the
+/// latency is that of a single filter) and reaches the crossbar only
+/// when every filter admits it.
+///
+/// Like the single-filter state, the SA hot loop tracks each
+/// constraint's load `Σw⁽ᵏ⁾ᵢxᵢ` incrementally — O(k) per flip — and
+/// uses the bank's fast path (matchline + comparator noise included)
+/// rather than re-simulating every cell.
+#[derive(Debug, Clone)]
+pub struct BankHardwareState {
+    /// The matrix the crossbar actually stores (quantized).
+    matrix: QuboMatrix,
+    bank: FilterBank,
+    /// Per-constraint weight rows, in bank order.
+    weights: Vec<Vec<u64>>,
+    x: Assignment,
+    /// Current per-constraint loads, index-aligned with the bank.
+    loads: Vec<u64>,
+    /// Proposed-loads buffer reused across probes (no per-iteration
+    /// allocation in the hot loop).
+    proposed: Vec<u64>,
+    energy: f64,
+    readout_sigma: f64,
+}
+
+impl BankHardwareState {
+    /// Builds the hardware state for a multi-inequality QUBO problem:
+    /// programs one filter per constraint and the crossbar with the
+    /// objective, then initializes at `initial` (must satisfy every
+    /// constraint).
+    ///
+    /// Device variability is sampled from `rng` filter-by-filter in
+    /// constraint order, then for the crossbar — so a fixed hardware
+    /// seed fabricates the same "chip instance" (bank included) on
+    /// every build, which is what keeps bank solves bit-identical
+    /// across threads and services.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CimError`] from filter-bank or crossbar
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` violates any constraint.
+    pub fn build(
+        problem: &MultiInequalityQubo,
+        filter_config: &FilterConfig,
+        crossbar_config: &CrossbarConfig,
+        initial: Assignment,
+        rng: &mut StdRng,
+    ) -> Result<Self, CimError> {
+        assert!(
+            problem.is_feasible(&initial),
+            "initial configuration must satisfy every constraint"
+        );
+        let bank = FilterBank::build(problem.constraints(), filter_config, rng)?;
+        let crossbar = Crossbar::program(problem.objective(), crossbar_config, rng)?;
+        let matrix = crossbar.stored_matrix().clone();
+        let typical_active = crossbar.mapping().programmed_cells() / 2;
+        let readout_sigma = crossbar.readout_sigma(typical_active);
+        let weights: Vec<Vec<u64>> = problem
+            .constraints()
+            .iter()
+            .map(|c| c.weights().to_vec())
+            .collect();
+        let loads = problem.loads(&initial);
+        let proposed = vec![0; loads.len()];
+        let energy = matrix.energy(&initial);
+        Ok(Self {
+            matrix,
+            bank,
+            weights,
+            x: initial,
+            loads,
+            proposed,
+            energy,
+            readout_sigma,
+        })
+    }
+
+    /// Current per-constraint loads, in bank order.
+    pub fn loads(&self) -> &[u64] {
+        &self.loads
+    }
+
+    /// The filter bank in use.
+    pub fn bank(&self) -> &FilterBank {
+        &self.bank
+    }
+
+    /// The stored (quantized) objective matrix.
+    pub fn stored_matrix(&self) -> &QuboMatrix {
+        &self.matrix
+    }
+
+    /// Per-readout energy noise sigma.
+    pub fn readout_sigma(&self) -> f64 {
+        self.readout_sigma
+    }
+
+    /// Fills `self.proposed` with the loads after flipping `bits`
+    /// (distinct indices).
+    fn propose(&mut self, bits: &[usize]) {
+        for (k, row) in self.weights.iter().enumerate() {
+            let mut load = self.loads[k] as i64;
+            for &i in bits {
+                let w = row[i] as i64;
+                load += if self.x.get(i) { -w } else { w };
+            }
+            debug_assert!(load >= 0, "loads are sums of selected non-negative weights");
+            self.proposed[k] = load.max(0) as u64;
+        }
+    }
+
+    /// Applies a committed flip of `bits` to the load caches.
+    fn apply(&mut self, bits: &[usize]) {
+        for &i in bits {
+            let selected = self.x.flip(i);
+            for (k, row) in self.weights.iter().enumerate() {
+                if selected {
+                    self.loads[k] += row[i];
+                } else {
+                    self.loads[k] -= row[i];
+                }
+            }
+        }
+    }
+}
+
+impl AnnealState for BankHardwareState {
+    fn dim(&self) -> usize {
+        self.matrix.dim()
+    }
+
+    fn assignment(&self) -> &Assignment {
+        &self.x
+    }
+
+    fn energy(&self) -> f64 {
+        self.energy
+    }
+
+    fn probe_flip(&mut self, i: usize, rng: &mut StdRng) -> FlipOutcome {
+        self.propose(&[i]);
+        // All k filters evaluate the proposal concurrently (fast
+        // path: analog matchline + comparator noise per filter).
+        let decision = self.bank.classify_loads(&self.proposed, rng);
+        if !decision.is_feasible() {
+            return FlipOutcome::Infeasible;
+        }
+        let delta = self.matrix.flip_delta(&self.x, i) + gaussian(rng) * self.readout_sigma;
+        FlipOutcome::Feasible { delta }
+    }
+
+    fn commit_flip(&mut self, i: usize, delta: f64) {
+        self.apply(&[i]);
+        self.energy += delta;
+    }
+
+    fn probe_pair(&mut self, i: usize, j: usize, rng: &mut StdRng) -> FlipOutcome {
+        assert_ne!(i, j, "pair flip needs two distinct bits");
+        self.propose(&[i, j]);
+        let decision = self.bank.classify_loads(&self.proposed, rng);
+        if !decision.is_feasible() {
+            return FlipOutcome::Infeasible;
+        }
+        let di = if self.x.get(i) { -1.0 } else { 1.0 };
+        let dj = if self.x.get(j) { -1.0 } else { 1.0 };
+        let delta = self.matrix.flip_delta(&self.x, i)
+            + self.matrix.flip_delta(&self.x, j)
+            + self.matrix.get(i, j) * di * dj
+            + gaussian(rng) * self.readout_sigma;
+        FlipOutcome::Feasible { delta }
+    }
+
+    fn commit_pair(&mut self, i: usize, j: usize, delta: f64) {
+        self.apply(&[i, j]);
+        self.energy += delta;
+    }
+
+    fn verify_best(&mut self, rng: &mut StdRng) -> bool {
+        // Same Fig. 6(b) protocol as the single filter: the candidate
+        // best re-passes the whole bank twice, so a rare noisy
+        // false-feasible admission on any filter cannot persist.
+        (0..2).all(|_| self.bank.classify_loads(&self.loads, rng).is_feasible())
     }
 }
 
@@ -406,6 +603,141 @@ mod tests {
             .collect();
         assert!(deltas.len() > 10);
         assert!(deltas.iter().any(|&d| (d - deltas[0]).abs() > 1e-12));
+    }
+
+    /// A 4-item, 2-bin packing in multi-inequality form.
+    fn bank_problem() -> (hycim_cop::binpack::BinPacking, MultiInequalityQubo) {
+        use hycim_cop::CopProblem;
+        let bp = hycim_cop::binpack::BinPacking::new(vec![4, 5, 3, 6], 9, 2).unwrap();
+        let mq = bp.to_multi_inequality_qubo().unwrap();
+        (bp, mq)
+    }
+
+    #[test]
+    fn bank_state_matches_software_when_noise_free() {
+        let (bp, mq) = bank_problem();
+        let mut rng = StdRng::seed_from_u64(21);
+        let cb_cfg = CrossbarConfig::paper().with_variation(VariationModel::none());
+        let mut hw = BankHardwareState::build(
+            &mq,
+            &noiseless_filter_config(),
+            &cb_cfg,
+            Assignment::zeros(mq.dim()),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(hw.bank().len(), 2);
+        // Random walk: energies must track the exact objective and the
+        // trajectory must stay inside every bin's capacity.
+        for step in 0..400 {
+            let i = step % mq.dim();
+            match hw.probe_flip(i, &mut rng) {
+                FlipOutcome::Feasible { delta } => {
+                    hw.commit_flip(i, delta);
+                    let expected = mq.objective_energy(hw.assignment());
+                    assert!(
+                        (hw.energy() - expected).abs() < 1e-6,
+                        "bank energy diverged at step {step}"
+                    );
+                    assert!(mq.is_feasible(hw.assignment()));
+                    assert_eq!(hw.loads(), mq.loads(hw.assignment()).as_slice());
+                    for k in 0..bp.num_bins() {
+                        assert!(bp.bin_load(hw.assignment(), k) <= bp.capacity());
+                    }
+                    assert!(hw.verify_best(&mut rng));
+                }
+                FlipOutcome::Infeasible => {
+                    let mut probe = hw.assignment().clone();
+                    probe.flip(i);
+                    assert!(
+                        !mq.is_feasible(&probe),
+                        "ideal bank vetoed a feasible flip at step {step}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bank_pair_probe_matches_sequential_arithmetic() {
+        let (_, mq) = bank_problem();
+        let mut rng = StdRng::seed_from_u64(22);
+        let cb_cfg = CrossbarConfig::paper().with_variation(VariationModel::none());
+        let mut hw = BankHardwareState::build(
+            &mq,
+            &noiseless_filter_config(),
+            &cb_cfg,
+            Assignment::zeros(mq.dim()),
+            &mut rng,
+        )
+        .unwrap();
+        // A pair flip landing inside both bins is admitted with the
+        // exact cross-term delta.
+        if let FlipOutcome::Feasible { delta } = hw.probe_pair(0, 3, &mut rng) {
+            hw.commit_pair(0, 3, delta);
+            let expected = mq.objective_energy(hw.assignment());
+            assert!((hw.energy() - expected).abs() < 1e-6);
+            assert_eq!(hw.loads(), mq.loads(hw.assignment()).as_slice());
+        } else {
+            panic!("items 0 (bin 0) and 1 (bin 1) fit their bins");
+        }
+        // A pair flip overloading one bin is vetoed: items 1 and 2
+        // into bin 0 on top of item 0 → 4 + 5 + 3 = 12 > 9.
+        // Current x has vars 0 (item0→bin0) and 3 (item1→bin1) set.
+        let before = hw.assignment().clone();
+        match hw.probe_pair(2, 4, &mut rng) {
+            FlipOutcome::Infeasible => {}
+            FlipOutcome::Feasible { .. } => {
+                panic!("overloading bin 0 must be vetoed")
+            }
+        }
+        assert_eq!(hw.assignment(), &before, "probe must not mutate");
+    }
+
+    #[test]
+    fn bank_state_rejects_infeasible_start() {
+        let (_, mq) = bank_problem();
+        let mut rng = StdRng::seed_from_u64(23);
+        // Everything into bin 0: violates its capacity.
+        let mut heavy = Assignment::zeros(mq.dim());
+        for i in 0..4 {
+            heavy.set(i * 2, true);
+        }
+        assert!(!mq.is_feasible(&heavy));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            BankHardwareState::build(
+                &mq,
+                &noiseless_filter_config(),
+                &CrossbarConfig::paper(),
+                heavy,
+                &mut rng,
+            )
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn bank_state_handles_mkp_dimensions() {
+        use hycim_cop::CopProblem;
+        let mkp = hycim_cop::mkp::MkpGenerator::new(12, 3).generate(5);
+        let mq = mkp.to_multi_inequality_qubo().unwrap();
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut hw = BankHardwareState::build(
+            &mq,
+            &noiseless_filter_config(),
+            &CrossbarConfig::paper().with_variation(VariationModel::none()),
+            Assignment::zeros(12),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(hw.bank().len(), 3);
+        for step in 0..300 {
+            let i = step % 12;
+            if let FlipOutcome::Feasible { delta } = hw.probe_flip(i, &mut rng) {
+                hw.commit_flip(i, delta);
+                assert!(mkp.is_feasible(hw.assignment()), "step {step} violated");
+            }
+        }
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! The engine layer is generic over the problem:
 //!
 //! * [`HyCimEngine`] — the filter + crossbar pipeline above.
+//! * [`BankEngine`] — the multi-constraint pipeline: a filter *bank*
+//!   (one filter per inequality) gating the crossbar, making bin
+//!   packing bin-exact and multi-dimensional knapsacks native.
 //! * [`DquboEngine`] — the baseline **D-QUBO** pipeline (Fig. 1(b)):
 //!   penalty encoding on a much larger crossbar, no filter.
 //! * [`SoftwareEngine`] — a noise-free software reference.
@@ -65,8 +68,9 @@ pub use batch::{default_threads, replica_seed, BatchRunner};
 pub use calibrate::{calibrate_t0, run_annealing};
 pub use config::{AnnealSettings, DquboConfig, HyCimConfig};
 pub use engine::{
-    DquboEngine, DquboSolver, Engine, HyCimEngine, HyCimSolver, SoftwareEngine, SoftwareSolver,
+    BankEngine, DquboEngine, DquboSolver, Engine, HyCimEngine, HyCimSolver, SoftwareEngine,
+    SoftwareSolver,
 };
 pub use error::HycimError;
-pub use hardware::{DquboHardwareState, HyCimHardwareState};
+pub use hardware::{BankHardwareState, DquboHardwareState, HyCimHardwareState};
 pub use solution::Solution;

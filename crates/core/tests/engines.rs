@@ -8,12 +8,13 @@ use hycim_cop::binpack::BinPacking;
 use hycim_cop::coloring::GraphColoring;
 use hycim_cop::knapsack::Knapsack;
 use hycim_cop::maxcut::MaxCut;
+use hycim_cop::mkp::{MkpGenerator, MultiKnapsack};
 use hycim_cop::spinglass::SpinGlass;
 use hycim_cop::tsp::Tsp;
 use hycim_cop::{CopProblem, QkpInstance};
 use hycim_core::{
-    BatchRunner, DquboConfig, DquboEngine, Engine, HyCimConfig, HyCimEngine, SoftwareEngine,
-    Solution,
+    BankEngine, BatchRunner, DquboConfig, DquboEngine, Engine, HyCimConfig, HyCimEngine,
+    SoftwareEngine, Solution,
 };
 
 /// Runs one problem through all three engine backends and returns the
@@ -146,6 +147,113 @@ fn bin_packing_solves_on_both_engines() {
     assert_eq!(hy.objective, 0.0);
     let bins = hy.decoded.expect("valid packings decode");
     assert!(bp.is_valid_packing(&CopProblem::encode(&bp, &bins)));
+}
+
+/// Runs a multi-constraint problem through the bank engine, checking
+/// the invariants every (problem, BankEngine) cell must satisfy: the
+/// returned best configuration passes every encoded constraint, and
+/// the typed solution scores consistently.
+fn solve_on_bank<P: CopProblem>(problem: &P, sweeps: usize, seed: u64) -> Solution<P> {
+    let config = HyCimConfig::default().with_sweeps(sweeps);
+    let bank = BankEngine::new(problem, &config, 1)
+        .unwrap_or_else(|e| panic!("{} does not map onto the bank: {e}", problem.kind()));
+    let solution = bank.solve(seed);
+    assert_eq!(
+        solution.assignment.len(),
+        problem.dim(),
+        "{}",
+        problem.kind()
+    );
+    let mq = problem.to_multi_inequality_qubo().expect("encodable");
+    assert!(
+        mq.is_feasible(&solution.assignment),
+        "{}: bank best violates an encoded constraint (first: {:?})",
+        problem.kind(),
+        mq.first_violation(&solution.assignment)
+    );
+    assert_eq!(solution.objective, problem.objective(&solution.assignment));
+    if solution.feasible {
+        assert!(solution.decoded.is_some(), "{}", problem.kind());
+    }
+    solution
+}
+
+#[test]
+fn bin_packing_is_bin_exact_on_the_bank_engine() {
+    // The acceptance criterion: per-bin constraints enforced in
+    // hardware, every returned solution bin-exact feasible — verified
+    // against the domain decode, across several chip/solve seeds.
+    let bp = BinPacking::new(vec![4, 5, 3, 6, 2, 7], 10, 3).unwrap();
+    for seed in 0..5 {
+        let sol = solve_on_bank(&bp, 400, seed);
+        assert!(sol.feasible, "bank packing infeasible at seed {seed}");
+        assert_eq!(sol.objective, 0.0);
+        let bins = sol.decoded.expect("valid packings decode");
+        let encoded = CopProblem::encode(&bp, &bins);
+        assert!(bp.is_valid_packing(&encoded));
+        // Bin-exact: every bin within its own capacity (not just the
+        // aggregate the single-filter path enforces).
+        for k in 0..bp.num_bins() {
+            assert!(bp.bin_load(&encoded, k) <= bp.capacity(), "bin {k} over");
+        }
+    }
+}
+
+#[test]
+fn mkp_solves_on_bank_and_single_filter_engines() {
+    let mkp = MultiKnapsack::new(
+        vec![10, 6, 8],
+        vec![vec![4, 7, 2], vec![1, 2, 6]],
+        vec![9, 7],
+    )
+    .unwrap();
+    let sol = solve_on_bank(&mkp, 200, 2);
+    assert!(sol.feasible, "bank MKP solutions satisfy every dimension");
+    // The tiny instance's exact optimum must be reached.
+    assert_eq!(sol.value(), 18);
+    assert_eq!(mkp.reference_objective(0), Some(-18.0));
+
+    // The aggregate relaxation also runs (on all three single-filter
+    // backends) — its best may or may not be dimension-feasible, which
+    // is exactly the gap the bank closes.
+    let (hy, _dq) = solve_on_both(&mkp, 200);
+    assert_eq!(hy.assignment.len(), 3);
+}
+
+#[test]
+fn generated_mkp_instances_cover_the_bank_matrix() {
+    // The generator feeds the matrix: a fresh MKP instance per seed
+    // runs end-to-end on the bank engine and stays exact.
+    for seed in 0..3 {
+        let mkp = MkpGenerator::new(10, 2).generate(seed);
+        let sol = solve_on_bank(&mkp, 150, seed);
+        assert!(sol.feasible, "seed {seed}");
+        // Compare against the exhaustive reference: the bank must land
+        // within 80% of optimal on these tiny instances.
+        let reference = -mkp.reference_objective(seed).expect("exact at n=10");
+        assert!(
+            sol.value() as f64 >= 0.8 * reference,
+            "seed {seed}: bank value {} far from reference {reference}",
+            sol.value()
+        );
+    }
+}
+
+#[test]
+fn bank_engine_is_bit_identical_across_thread_counts() {
+    // The second acceptance criterion: BatchRunner grids over the
+    // bank engine reproduce bit-identically at any thread count.
+    let bp = BinPacking::new(vec![4, 5, 3, 6], 9, 2).unwrap();
+    let engine = BankEngine::new(&bp, &HyCimConfig::default().with_sweeps(60), 3).unwrap();
+    let serial = BatchRunner::serial().run(&engine, 6, 42);
+    for threads in [2, 4] {
+        let parallel = BatchRunner::new().with_threads(threads).run(&engine, 6, 42);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.assignment, p.assignment, "{threads} threads diverged");
+            assert_eq!(s.objective, p.objective);
+            assert_eq!(s.reported_energy, p.reported_energy);
+        }
+    }
 }
 
 #[test]

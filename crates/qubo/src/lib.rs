@@ -11,6 +11,9 @@
 //!   (paper Eq. 4).
 //! * [`InequalityQubo`] — the paper's novel *inequality-QUBO* form
 //!   `min E = (Σ wᵢxᵢ ≤ C) · xᵀQx` (paper Eq. 6, Sec 3.2).
+//! * [`MultiInequalityQubo`] — the multi-constraint generalization
+//!   `min E = ∏ₖ(Σ w⁽ᵏ⁾ᵢxᵢ ≤ C⁽ᵏ⁾) · xᵀQx`, one gate per filter of a
+//!   hardware filter bank (bin packing, multi-dimensional knapsacks).
 //! * [`dqubo`] — the conventional *D-QUBO* transformation that embeds
 //!   the constraint as a quadratic penalty over auxiliary variables
 //!   (paper Fig. 1(b), Sec 2.1), used as the baseline.
@@ -49,6 +52,7 @@ mod error;
 mod inequality;
 mod ising;
 mod matrix;
+mod multi;
 pub mod quant;
 
 pub use assignment::Assignment;
@@ -57,3 +61,4 @@ pub use error::QuboError;
 pub use inequality::InequalityQubo;
 pub use ising::IsingModel;
 pub use matrix::QuboMatrix;
+pub use multi::MultiInequalityQubo;

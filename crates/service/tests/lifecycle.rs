@@ -5,13 +5,14 @@
 
 use std::sync::Arc;
 
+use hycim_cop::binpack::BinPacking;
 use hycim_cop::generator::QkpGenerator;
 use hycim_cop::maxcut::MaxCut;
 use hycim_cop::tsp::Tsp;
 use hycim_cop::QkpInstance;
 use hycim_core::{
-    replica_seed, BatchRunner, DquboConfig, DquboEngine, Engine, HyCimConfig, HyCimEngine,
-    SoftwareEngine,
+    replica_seed, BankEngine, BatchRunner, DquboConfig, DquboEngine, Engine, HyCimConfig,
+    HyCimEngine, SoftwareEngine,
 };
 use hycim_service::{FetchError, JobService, JobStatus, ServiceConfig, SubmitError};
 
@@ -126,6 +127,36 @@ fn batch_job_is_bit_identical_to_batch_runner() {
         assert_eq!(g.assignment, w.assignment, "replica {k}");
         assert_eq!(g.objective, w.objective);
         assert_eq!(g.reported_energy, w.reported_energy);
+    }
+}
+
+/// Bank-engine jobs ride the same erased queue: a batch job over the
+/// multi-constraint pipeline fetches bit-identical to `BatchRunner`,
+/// and every replica's solution satisfies each per-bin constraint.
+#[test]
+fn bank_engine_jobs_are_bit_identical_and_bin_exact() {
+    let bp = BinPacking::new(vec![4, 5, 3, 6], 9, 2).unwrap();
+    let engine = Arc::new(
+        BankEngine::new(&bp, &HyCimConfig::default().with_sweeps(60), 7)
+            .expect("bin packing maps onto the bank"),
+    );
+    let service = JobService::start(ServiceConfig::new().with_workers(3));
+    let job = service.submit_batch(&engine, 4, 31).expect("capacity");
+    let got = service.wait_fetch::<BinPacking>(job).expect("bank job");
+    assert_eq!(got.backend, "bank");
+    let want = BatchRunner::new()
+        .with_threads(2)
+        .run(engine.as_ref(), 4, 31);
+    use hycim_cop::CopProblem;
+    let mq = bp.to_multi_inequality_qubo().expect("encodable");
+    for (k, (g, w)) in got.solutions.iter().zip(&want).enumerate() {
+        assert_eq!(got.seeds[k], replica_seed(31, 0, k as u64));
+        assert_eq!(g.assignment, w.assignment, "replica {k}");
+        assert_eq!(g.reported_energy, w.reported_energy);
+        assert!(
+            mq.is_feasible(&g.assignment),
+            "replica {k} violates a bin constraint"
+        );
     }
 }
 

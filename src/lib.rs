@@ -11,11 +11,11 @@
 //! | Module | Source crate | Contents |
 //! |---|---|---|
 //! | [`qubo`] | `hycim-qubo` | QUBO/Ising algebra, inequality-QUBO form, D-QUBO penalty transformation, quantization |
-//! | [`cop`] | `hycim-cop` | The `CopProblem` trait + 7 problem types (QKP, knapsack, max-cut, TSP, coloring, bin packing, spin glass), CNAM generator/parser, reference solvers |
+//! | [`cop`] | `hycim-cop` | The `CopProblem` trait + 8 problem types (QKP, knapsack, max-cut, TSP, coloring, bin packing, multi-dimensional knapsack, spin glass), CNAM/MKP generators & parsers, reference solvers |
 //! | [`fefet`] | `hycim-fefet` | Multi-level FeFET device models, Preisach-style programming, 1FeFET1R cells |
 //! | [`cim`] | `hycim-cim` | Inequality filter, CiM crossbar, ADC, matchline, area & energy models |
 //! | [`anneal`] | `hycim-anneal` | Simulated-annealing engine, schedules, traces |
-//! | [`core`] | `hycim-core` | Generic engines (`HyCimEngine`, `DquboEngine`, `SoftwareEngine`), the parallel `BatchRunner`, success-rate harness |
+//! | [`core`] | `hycim-core` | Generic engines (`HyCimEngine`, `BankEngine`, `DquboEngine`, `SoftwareEngine`), the parallel `BatchRunner`, success-rate harness |
 //! | [`service`] | `hycim-service` | Job-service front-end: bounded-queue worker pool serving solve jobs to concurrent callers (submit → poll → fetch) |
 //!
 //! The crate-level narrative — who calls whom, and why the layers cut
@@ -63,14 +63,17 @@ pub use hycim_service as service;
 /// ```
 pub mod prelude {
     pub use hycim_anneal::{AnnealTrace, Annealer, GeometricSchedule, Schedule};
-    pub use hycim_cim::filter::{FilterConfig, InequalityFilter};
+    pub use hycim_cim::filter::{BankDecision, FilterBank, FilterConfig, InequalityFilter};
     pub use hycim_cim::Fidelity;
     pub use hycim_cop::generator::QkpGenerator;
+    pub use hycim_cop::mkp::{MkpGenerator, MultiKnapsack};
     pub use hycim_cop::{CopProblem, QkpInstance};
     pub use hycim_core::{
-        BatchRunner, DquboConfig, DquboEngine, DquboSolver, Engine, HyCimConfig, HyCimEngine,
-        HyCimSolver, HycimError, SoftwareEngine, SoftwareSolver, Solution,
+        BankEngine, BatchRunner, DquboConfig, DquboEngine, DquboSolver, Engine, HyCimConfig,
+        HyCimEngine, HyCimSolver, HycimError, SoftwareEngine, SoftwareSolver, Solution,
     };
-    pub use hycim_qubo::{Assignment, InequalityQubo, IsingModel, LinearConstraint, QuboMatrix};
+    pub use hycim_qubo::{
+        Assignment, InequalityQubo, IsingModel, LinearConstraint, MultiInequalityQubo, QuboMatrix,
+    };
     pub use hycim_service::{JobId, JobResult, JobService, JobStatus, ServiceConfig};
 }

@@ -48,3 +48,27 @@ fn nested_module_paths_resolve() {
     let _: hycim::cim::filter::FilterConfig = FilterConfig::default();
     let _: hycim::core::HycimError;
 }
+
+/// The filter-bank pipeline surface is reachable through the prelude:
+/// encode a multi-constraint problem, build its bank, classify a
+/// configuration, and solve it on the `BankEngine`.
+#[test]
+fn bank_pipeline_surface_is_usable() {
+    use rand::{rngs::StdRng, SeedableRng};
+
+    let mkp = MkpGenerator::new(8, 2).generate(1);
+    let multi: MultiInequalityQubo = mkp.to_multi_inequality_qubo().expect("encodable");
+    assert_eq!(multi.num_constraints(), 2);
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let bank = FilterBank::build(multi.constraints(), &FilterConfig::default(), &mut rng)
+        .expect("generated weights fit the filter columns");
+    let decision: BankDecision = bank.classify(&Assignment::zeros(8), &mut rng);
+    assert!(decision.is_feasible());
+    assert_eq!(decision.first_violation(), None);
+
+    let engine = BankEngine::new(&mkp, &HyCimConfig::default().with_sweeps(30), 1)
+        .expect("generated instances map onto the bank");
+    let solution: Solution<MultiKnapsack> = engine.solve(5);
+    assert!(multi.is_feasible(&solution.assignment));
+}

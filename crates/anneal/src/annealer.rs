@@ -84,10 +84,11 @@ impl<S: Schedule> Annealer<S> {
     /// place and returning the trace. Deterministic in `rng`.
     pub fn run<T: AnnealState>(&self, state: &mut T, rng: &mut StdRng) -> AnnealTrace {
         let n = state.dim();
-        let mut trace = AnnealTrace::new(
+        let mut trace = AnnealTrace::with_capacity(
             state.energy(),
             state.assignment().clone(),
             self.record_trace,
+            self.iterations,
         );
         for iter in 0..self.iterations {
             let temperature = self.schedule.temperature(iter, self.iterations);
@@ -139,7 +140,8 @@ impl<S: Schedule> Annealer<S> {
 
 /// Picks one selected and one unselected bit for an exchange move;
 /// falls back to `None` (→ single flip) when the configuration is all
-/// zeros or all ones.
+/// zeros or all ones. The degeneracy check reads the O(1) cached
+/// popcount, so proposing costs O(1) expected — no bit scans.
 fn propose_exchange(x: &hycim_qubo::Assignment, rng: &mut StdRng) -> Option<(usize, usize)> {
     let n = x.len();
     let ones = x.ones();

@@ -1,5 +1,5 @@
 use hycim_qubo::dqubo::DquboForm;
-use hycim_qubo::{Assignment, InequalityQubo};
+use hycim_qubo::{Assignment, DeltaEngine, InequalityQubo};
 use rand::rngs::StdRng;
 
 /// Result of probing a single-bit flip.
@@ -21,9 +21,12 @@ pub enum FlipOutcome {
 /// with incremental flip probing.
 ///
 /// Implementations keep whatever caches they need (current load for
-/// the filter, current energy) so that [`probe_flip`] and
-/// [`commit_flip`] run in O(n) and O(1) amortized rather than O(n²) —
-/// matching the one-shot evaluation cadence of the CiM hardware.
+/// the filter, maintained local fields, current energy) so that
+/// [`probe_flip`] runs in O(1) and [`commit_flip`] in O(deg(i))
+/// rather than O(n²) — matching the one-shot evaluation cadence of
+/// the CiM hardware. See
+/// [`hycim_qubo::local_field`] for the field-maintenance scheme and
+/// its drift/refresh story.
 ///
 /// [`probe_flip`]: AnnealState::probe_flip
 /// [`commit_flip`]: AnnealState::commit_flip
@@ -79,6 +82,7 @@ pub struct SoftwareState {
     x: Assignment,
     load: u64,
     energy: f64,
+    deltas: DeltaEngine,
 }
 
 impl SoftwareState {
@@ -96,12 +100,23 @@ impl SoftwareState {
         );
         let load = problem.constraint().load(&initial);
         let energy = problem.objective_energy(&initial);
+        let deltas = DeltaEngine::local(problem.objective(), &initial);
         Self {
             problem: problem.clone(),
             x: initial,
             load,
             energy,
+            deltas,
         }
+    }
+
+    /// Switches to dense O(n) row-scan deltas (no maintained local
+    /// fields). Only the benchmark harness and the equivalence tests
+    /// want this; the default local-field backend computes the same
+    /// deltas in O(1).
+    pub fn with_dense_deltas(mut self) -> Self {
+        self.deltas = DeltaEngine::dense();
+        self
     }
 
     /// Current constraint load `Σwᵢxᵢ`.
@@ -139,7 +154,7 @@ impl AnnealState for SoftwareState {
             return FlipOutcome::Infeasible;
         }
         FlipOutcome::Feasible {
-            delta: self.problem.objective().flip_delta(&self.x, i),
+            delta: self.deltas.flip_delta(self.problem.objective(), &self.x, i),
         }
     }
 
@@ -150,6 +165,7 @@ impl AnnealState for SoftwareState {
         } else {
             self.load -= w;
         }
+        self.deltas.commit_flip(&self.x, i);
         self.energy += delta;
     }
 
@@ -169,7 +185,9 @@ impl AnnealState for SoftwareState {
             return FlipOutcome::Infeasible;
         }
         FlipOutcome::Feasible {
-            delta: pair_delta(self.problem.objective(), &self.x, i, j),
+            delta: self
+                .deltas
+                .pair_delta(self.problem.objective(), &self.x, i, j),
         }
     }
 
@@ -182,17 +200,9 @@ impl AnnealState for SoftwareState {
                 self.load -= weight;
             }
         }
+        self.deltas.commit_pair(&self.x, i, j);
         self.energy += delta;
     }
-}
-
-/// Exact energy change of flipping bits `i` and `j` together:
-/// `Δᵢ + Δⱼ + Q_ij·dᵢ·dⱼ`, where `d = +1` for a 0→1 flip and `−1`
-/// otherwise (the cross-term correction of the two single-flip deltas).
-pub(crate) fn pair_delta(q: &hycim_qubo::QuboMatrix, x: &Assignment, i: usize, j: usize) -> f64 {
-    let di = if x.get(i) { -1.0 } else { 1.0 };
-    let dj = if x.get(j) { -1.0 } else { 1.0 };
-    q.flip_delta(x, i) + q.flip_delta(x, j) + q.get(i, j) * di * dj
 }
 
 /// Exact software evaluation of the D-QUBO (penalty) form: every flip
@@ -204,6 +214,7 @@ pub struct PenaltyState {
     form: DquboForm,
     x: Assignment,
     energy: f64,
+    deltas: DeltaEngine,
 }
 
 impl PenaltyState {
@@ -216,11 +227,20 @@ impl PenaltyState {
     pub fn new(form: &DquboForm, initial: Assignment) -> Self {
         assert_eq!(initial.len(), form.dim(), "configuration length mismatch");
         let energy = form.energy(&initial);
+        let deltas = DeltaEngine::local(form.matrix(), &initial);
         Self {
             form: form.clone(),
             x: initial,
             energy,
+            deltas,
         }
+    }
+
+    /// Switches to dense O(n) row-scan deltas — see
+    /// [`SoftwareState::with_dense_deltas`].
+    pub fn with_dense_deltas(mut self) -> Self {
+        self.deltas = DeltaEngine::dense();
+        self
     }
 
     /// The underlying D-QUBO form.
@@ -249,25 +269,27 @@ impl AnnealState for PenaltyState {
 
     fn probe_flip(&mut self, i: usize, _rng: &mut StdRng) -> FlipOutcome {
         FlipOutcome::Feasible {
-            delta: self.form.matrix().flip_delta(&self.x, i),
+            delta: self.deltas.flip_delta(self.form.matrix(), &self.x, i),
         }
     }
 
     fn commit_flip(&mut self, i: usize, delta: f64) {
         self.x.flip(i);
+        self.deltas.commit_flip(&self.x, i);
         self.energy += delta;
     }
 
     fn probe_pair(&mut self, i: usize, j: usize, _rng: &mut StdRng) -> FlipOutcome {
         assert_ne!(i, j, "pair flip needs two distinct bits");
         FlipOutcome::Feasible {
-            delta: pair_delta(self.form.matrix(), &self.x, i, j),
+            delta: self.deltas.pair_delta(self.form.matrix(), &self.x, i, j),
         }
     }
 
     fn commit_pair(&mut self, i: usize, j: usize, delta: f64) {
         self.x.flip(i);
         self.x.flip(j);
+        self.deltas.commit_pair(&self.x, i, j);
         self.energy += delta;
     }
 }

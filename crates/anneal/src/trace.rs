@@ -16,12 +16,28 @@ impl AnnealTrace {
     /// Creates an empty trace at the initial state. Public so
     /// downstream crates can construct traces in tests and adapters.
     pub fn new(initial_energy: f64, initial: Assignment, record: bool) -> Self {
+        Self::with_capacity(initial_energy, initial, record, 0)
+    }
+
+    /// Like [`new`](Self::new), but preallocates room for `iterations`
+    /// recorded energies (plus the initial one) when recording is
+    /// enabled, so the hot loop never reallocates mid-run. The
+    /// annealer passes its iteration count here.
+    pub fn with_capacity(
+        initial_energy: f64,
+        initial: Assignment,
+        record: bool,
+        iterations: usize,
+    ) -> Self {
+        let energies = if record {
+            let mut e = Vec::with_capacity(iterations + 1);
+            e.push(initial_energy);
+            e
+        } else {
+            Vec::new()
+        };
         Self {
-            energies: if record {
-                vec![initial_energy]
-            } else {
-                Vec::new()
-            },
+            energies,
             best_energy: initial_energy,
             best_assignment: initial,
             accepted: 0,

@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks of the flip-delta hot path: the dense
+//! O(n) row scan vs the maintained local-field O(1) lookup, at the
+//! probe level and over full SA runs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use hycim_anneal::{Annealer, GeometricSchedule, SoftwareState};
+use hycim_cop::maxcut::MaxCut;
+use hycim_cop::CopProblem;
+use hycim_qubo::{Assignment, LocalFieldState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_flip_delta_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flip_delta_probe");
+    for n in [64usize, 256, 1024] {
+        let g = MaxCut::random(n, 0.05, 3);
+        let q = g.objective_matrix();
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Assignment::random(n, &mut rng);
+        let lf = LocalFieldState::new(&q, &x);
+        group.bench_function(BenchmarkId::new("dense", n), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % n;
+                black_box(q.flip_delta(black_box(&x), i))
+            })
+        });
+        group.bench_function(BenchmarkId::new("local_field", n), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % n;
+                black_box(lf.flip_delta(black_box(&x), i))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_commit_flip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_field_commit");
+    for n in [256usize, 1024] {
+        let g = MaxCut::random(n, 0.05, 5);
+        let q = g.objective_matrix();
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Assignment::random(n, &mut rng);
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter_batched(
+                || (LocalFieldState::new(&q, &x), x.clone()),
+                |(mut lf, mut x)| {
+                    for i in 0..64 {
+                        x.flip(i % n);
+                        lf.commit_flip(&x, i % n);
+                    }
+                    black_box(lf.field(0))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_sa_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sa_1000_iterations_backend");
+    let n = 256;
+    let g = MaxCut::random(n, 0.05, 7);
+    let iq = CopProblem::to_inequality_qubo(&g).expect("max-cut encodes");
+    let annealer = Annealer::new(GeometricSchedule::new(50.0, 0.999), 1000).without_trace();
+    group.bench_function("dense", |b| {
+        b.iter_batched(
+            || {
+                (
+                    SoftwareState::new(&iq, Assignment::zeros(n)).with_dense_deltas(),
+                    StdRng::seed_from_u64(8),
+                )
+            },
+            |(mut state, mut rng)| black_box(annealer.run(&mut state, &mut rng)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("local_field", |b| {
+        b.iter_batched(
+            || {
+                (
+                    SoftwareState::new(&iq, Assignment::zeros(n)),
+                    StdRng::seed_from_u64(8),
+                )
+            },
+            |(mut state, mut rng)| black_box(annealer.run(&mut state, &mut rng)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flip_delta_probe,
+    bench_commit_flip,
+    bench_sa_backends
+);
+criterion_main!(benches);

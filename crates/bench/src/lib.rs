@@ -108,10 +108,110 @@ impl Args {
             .unwrap_or(default)
     }
 
+    /// String option with default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Comma-separated integer list option with default
+    /// (`--sizes 64,256,512`).
+    pub fn get_usize_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.values.get(key) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--{key} expects comma-separated integers"))
+                })
+                .collect(),
+        }
+    }
+
     /// Whether a bare flag was passed.
     pub fn has_flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
     }
+}
+
+/// Schema tag the `hotpath_report` binary stamps into
+/// `BENCH_hotpath.json`.
+pub const HOTPATH_SCHEMA: &str = "hycim-hotpath/v1";
+
+/// Keys every row of a hotpath report must carry.
+pub const HOTPATH_ROW_KEYS: [&str; 9] = [
+    "family",
+    "state",
+    "n",
+    "nnz",
+    "avg_degree",
+    "iterations",
+    "dense_iters_per_sec",
+    "local_iters_per_sec",
+    "speedup",
+];
+
+/// Validates the shape of an emitted `BENCH_hotpath.json` document:
+/// schema tag, balanced braces/brackets, at least one row, every row
+/// carrying every required key, and strictly positive finite
+/// throughput numbers. The `hotpath_report` binary re-reads its own
+/// output through this check, so CI smoke runs fail loudly on a
+/// malformed report.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_hotpath_json(doc: &str) -> Result<(), String> {
+    if !doc.trim_start().starts_with('{') {
+        return Err("document does not start with an object".into());
+    }
+    if !doc.contains(&format!("\"schema\": \"{HOTPATH_SCHEMA}\"")) {
+        return Err(format!("missing schema tag {HOTPATH_SCHEMA:?}"));
+    }
+    for (open, close, label) in [('{', '}', "braces"), ('[', ']', "brackets")] {
+        let opens = doc.matches(open).count();
+        let closes = doc.matches(close).count();
+        if opens != closes {
+            return Err(format!(
+                "unbalanced {label}: {opens} open vs {closes} close"
+            ));
+        }
+    }
+    let rows: Vec<&str> = doc
+        .split("{ \"family\":")
+        .skip(1)
+        .map(|r| r.split('}').next().unwrap_or(""))
+        .collect();
+    if rows.is_empty() {
+        return Err("no rows found".into());
+    }
+    for (idx, row) in rows.iter().enumerate() {
+        let row = format!("\"family\":{row}");
+        for key in HOTPATH_ROW_KEYS {
+            if !row.contains(&format!("\"{key}\":")) {
+                return Err(format!("row {idx} missing key {key:?}"));
+            }
+        }
+        for key in ["dense_iters_per_sec", "local_iters_per_sec", "speedup"] {
+            let value = row
+                .split(&format!("\"{key}\": "))
+                .nth(1)
+                .and_then(|rest| rest.split([',', ' ', '\n']).next())
+                .ok_or_else(|| format!("row {idx}: cannot locate {key:?}"))?;
+            let parsed: f64 = value
+                .parse()
+                .map_err(|_| format!("row {idx}: {key} = {value:?} is not a number"))?;
+            if !(parsed.is_finite() && parsed > 0.0) {
+                return Err(format!("row {idx}: {key} = {parsed} is not positive"));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Mean of a slice.
@@ -179,6 +279,42 @@ mod tests {
         assert!(std_dev(&xs) > 1.0 && std_dev(&xs) < 1.2);
         assert_eq!(min_max(&xs), (1.0, 4.0));
         assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn string_and_list_args() {
+        let args = Args::parse_from(
+            ["--out", "x.json", "--sizes", "64,256"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(args.get_str("out", "d.json"), "x.json");
+        assert_eq!(args.get_str("missing", "d.json"), "d.json");
+        assert_eq!(args.get_usize_list("sizes", &[1]), vec![64, 256]);
+        assert_eq!(args.get_usize_list("absent", &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn hotpath_validator_accepts_wellformed() {
+        let doc = format!(
+            "{{\n  \"schema\": \"{HOTPATH_SCHEMA}\",\n  \"rows\": [\n                 {{ \"family\": \"maxcut\", \"state\": \"software\", \"n\": 256, \"nnz\": 10,              \"avg_degree\": 2.0, \"iterations\": 100, \"dense_iters_per_sec\": 1e6,              \"local_iters_per_sec\": 9e6, \"speedup\": 9.0, \"bit_identical\": true }}\n  ]\n}}\n"
+        );
+        validate_hotpath_json(&doc).expect("valid document");
+    }
+
+    #[test]
+    fn hotpath_validator_rejects_malformed() {
+        assert!(validate_hotpath_json("[]").is_err());
+        assert!(validate_hotpath_json("{}").is_err(), "missing schema");
+        let no_rows = format!("{{ \"schema\": \"{HOTPATH_SCHEMA}\", \"rows\": [] }}");
+        assert!(validate_hotpath_json(&no_rows).is_err(), "no rows");
+        let bad_speedup = format!(
+            "{{ \"schema\": \"{HOTPATH_SCHEMA}\", \"rows\": [ {{ \"family\": \"m\",              \"state\": \"s\", \"n\": 1, \"nnz\": 1, \"avg_degree\": 1, \"iterations\": 1,              \"dense_iters_per_sec\": 1.0, \"local_iters_per_sec\": 1.0, \"speedup\": -3.0 }} ] }}"
+        );
+        assert!(
+            validate_hotpath_json(&bad_speedup).is_err(),
+            "negative speedup"
+        );
     }
 
     #[test]

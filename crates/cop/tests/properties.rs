@@ -299,3 +299,102 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Local-field equivalence across every problem generator
+// ---------------------------------------------------------------------
+
+/// Runs the local-field law on the encoded objective of a problem: a
+/// random probe/commit walk on [`hycim_qubo::LocalFieldState`] must
+/// match the dense `flip_delta` probe and a full `energy()` recompute
+/// within 1e-9 at every step.
+fn assert_local_field_law(q: &hycim_qubo::QuboMatrix, seed: u64) {
+    use hycim_qubo::LocalFieldState;
+    use rand::Rng;
+    let n = q.dim();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Assignment::random(n, &mut rng);
+    let mut lf = LocalFieldState::new(q, &x);
+    let mut energy = q.energy(&x);
+    for step in 0..200 {
+        let i = rng.random_range(0..n);
+        let delta = lf.flip_delta(&x, i);
+        assert!(
+            (delta - q.flip_delta(&x, i)).abs() < 1e-9,
+            "probe diverged at step {step}"
+        );
+        if rng.random_bool(0.6) {
+            x.flip(i);
+            lf.commit_flip(&x, i);
+            energy += delta;
+            assert!(
+                (energy - q.energy(&x)).abs() < 1e-8,
+                "energy diverged at step {step}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// QKP objectives (dense pair profits) obey the local-field law.
+    #[test]
+    fn local_field_law_qkp(inst in arb_small_instance(), seed in any::<u64>()) {
+        let iq = CopProblem::to_inequality_qubo(&inst).expect("valid");
+        assert_local_field_law(iq.objective(), seed);
+    }
+
+    /// Sparse max-cut graphs obey the local-field law.
+    #[test]
+    fn local_field_law_maxcut(n in 4usize..40, seed in any::<u64>()) {
+        let g = MaxCut::random(n, 0.15, seed);
+        assert_local_field_law(&g.objective_matrix(), seed);
+    }
+
+    /// Spin glasses (binary and Gaussian couplings) obey the law.
+    #[test]
+    fn local_field_law_spinglass(n in 4usize..24, seed in any::<u64>()) {
+        let binary = hycim_cop::spinglass::SpinGlass::random_binary(n, seed).expect("n >= 2");
+        let iq = CopProblem::to_inequality_qubo(&binary).expect("valid");
+        assert_local_field_law(iq.objective(), seed);
+        let gaussian = hycim_cop::spinglass::SpinGlass::random_gaussian(n, seed).expect("n >= 2");
+        let iq = CopProblem::to_inequality_qubo(&gaussian).expect("valid");
+        assert_local_field_law(iq.objective(), seed);
+    }
+
+    /// Graph-coloring penalty matrices obey the law.
+    #[test]
+    fn local_field_law_coloring(n in 3usize..10, seed in any::<u64>()) {
+        let gc = GraphColoring::random(n, 0.4, 3, seed);
+        let iq = CopProblem::to_inequality_qubo(&gc).expect("valid");
+        assert_local_field_law(iq.objective(), seed);
+    }
+
+    /// TSP tour-encoding penalty matrices obey the law.
+    #[test]
+    fn local_field_law_tsp(n in 3usize..7, seed in any::<u64>()) {
+        let tsp = hycim_cop::tsp::Tsp::random_euclidean(n, 100.0, seed).expect("n >= 3");
+        let iq = CopProblem::to_inequality_qubo(&tsp).expect("valid");
+        assert_local_field_law(iq.objective(), seed);
+    }
+
+    /// Multi-dimensional knapsack aggregate objectives obey the law.
+    #[test]
+    fn local_field_law_mkp(n in 4usize..16, dims in 2usize..4, seed in any::<u64>()) {
+        let mkp = MkpGenerator::new(n, dims).generate(seed);
+        let iq = CopProblem::to_inequality_qubo(&mkp).expect("valid");
+        assert_local_field_law(iq.objective(), seed);
+    }
+
+    /// Bin-packing assignment-penalty objectives (the bank path) obey
+    /// the law.
+    #[test]
+    fn local_field_law_binpack(items in 3usize..8, seed in any::<u64>()) {
+        let sizes: Vec<u64> = (0..items).map(|i| 2 + (seed.wrapping_add(i as u64) % 5)).collect();
+        let total: u64 = sizes.iter().sum();
+        let bp = BinPacking::new(sizes, total, 2).expect("valid");
+        let mq = bp.to_multi_inequality_qubo().expect("valid");
+        assert_local_field_law(mq.objective(), seed);
+    }
+}

@@ -15,7 +15,7 @@ use hycim_cim::filter::{FilterBank, FilterConfig, InequalityFilter};
 use hycim_cim::CimError;
 use hycim_qubo::dqubo::DquboForm;
 use hycim_qubo::quant::QuantizedMatrix;
-use hycim_qubo::{Assignment, InequalityQubo, MultiInequalityQubo, QuboMatrix};
+use hycim_qubo::{Assignment, DeltaEngine, InequalityQubo, MultiInequalityQubo, QuboMatrix};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -34,6 +34,9 @@ pub struct HyCimHardwareState {
     energy: f64,
     /// Per-readout energy noise sigma.
     readout_sigma: f64,
+    /// Flip-delta backend over the stored matrix (local fields by
+    /// default).
+    deltas: DeltaEngine,
 }
 
 impl HyCimHardwareState {
@@ -73,6 +76,7 @@ impl HyCimHardwareState {
         let readout_sigma = crossbar.readout_sigma(typical_active);
         let load = constraint.load(&initial);
         let energy = matrix.energy(&initial);
+        let deltas = DeltaEngine::local(&matrix, &initial);
         Ok(Self {
             matrix,
             filter,
@@ -81,7 +85,16 @@ impl HyCimHardwareState {
             load,
             energy,
             readout_sigma,
+            deltas,
         })
+    }
+
+    /// Switches to dense O(n) row-scan deltas over the stored matrix
+    /// (benchmark/equivalence use only — the default local-field
+    /// backend reports the same deltas in O(1)).
+    pub fn with_dense_deltas(mut self) -> Self {
+        self.deltas = DeltaEngine::dense();
+        self
     }
 
     /// Current constraint load.
@@ -136,7 +149,8 @@ impl AnnealState for HyCimHardwareState {
         }
         // Feasible: the crossbar computes the QUBO energy; modeled as
         // the stored matrix's exact delta plus readout noise.
-        let delta = self.matrix.flip_delta(&self.x, i) + gaussian(rng) * self.readout_sigma;
+        let delta =
+            self.deltas.flip_delta(&self.matrix, &self.x, i) + gaussian(rng) * self.readout_sigma;
         FlipOutcome::Feasible { delta }
     }
 
@@ -146,6 +160,7 @@ impl AnnealState for HyCimHardwareState {
         } else {
             self.load -= self.weights[i];
         }
+        self.deltas.commit_flip(&self.x, i);
         self.energy += delta;
     }
 
@@ -159,11 +174,7 @@ impl AnnealState for HyCimHardwareState {
         if !decision.is_feasible() {
             return FlipOutcome::Infeasible;
         }
-        let di = if self.x.get(i) { -1.0 } else { 1.0 };
-        let dj = if self.x.get(j) { -1.0 } else { 1.0 };
-        let delta = self.matrix.flip_delta(&self.x, i)
-            + self.matrix.flip_delta(&self.x, j)
-            + self.matrix.get(i, j) * di * dj
+        let delta = self.deltas.pair_delta(&self.matrix, &self.x, i, j)
             + gaussian(rng) * self.readout_sigma;
         FlipOutcome::Feasible { delta }
     }
@@ -176,6 +187,7 @@ impl AnnealState for HyCimHardwareState {
                 self.load -= self.weights[bit];
             }
         }
+        self.deltas.commit_pair(&self.x, i, j);
         self.energy += delta;
     }
 
@@ -219,6 +231,9 @@ pub struct BankHardwareState {
     proposed: Vec<u64>,
     energy: f64,
     readout_sigma: f64,
+    /// Flip-delta backend over the stored matrix (local fields by
+    /// default).
+    deltas: DeltaEngine,
 }
 
 impl BankHardwareState {
@@ -265,6 +280,7 @@ impl BankHardwareState {
         let loads = problem.loads(&initial);
         let proposed = vec![0; loads.len()];
         let energy = matrix.energy(&initial);
+        let deltas = DeltaEngine::local(&matrix, &initial);
         Ok(Self {
             matrix,
             bank,
@@ -274,7 +290,15 @@ impl BankHardwareState {
             proposed,
             energy,
             readout_sigma,
+            deltas,
         })
+    }
+
+    /// Switches to dense O(n) row-scan deltas over the stored matrix
+    /// (benchmark/equivalence use only).
+    pub fn with_dense_deltas(mut self) -> Self {
+        self.deltas = DeltaEngine::dense();
+        self
     }
 
     /// Current per-constraint loads, in bank order.
@@ -347,12 +371,14 @@ impl AnnealState for BankHardwareState {
         if !decision.is_feasible() {
             return FlipOutcome::Infeasible;
         }
-        let delta = self.matrix.flip_delta(&self.x, i) + gaussian(rng) * self.readout_sigma;
+        let delta =
+            self.deltas.flip_delta(&self.matrix, &self.x, i) + gaussian(rng) * self.readout_sigma;
         FlipOutcome::Feasible { delta }
     }
 
     fn commit_flip(&mut self, i: usize, delta: f64) {
         self.apply(&[i]);
+        self.deltas.commit_flip(&self.x, i);
         self.energy += delta;
     }
 
@@ -363,17 +389,14 @@ impl AnnealState for BankHardwareState {
         if !decision.is_feasible() {
             return FlipOutcome::Infeasible;
         }
-        let di = if self.x.get(i) { -1.0 } else { 1.0 };
-        let dj = if self.x.get(j) { -1.0 } else { 1.0 };
-        let delta = self.matrix.flip_delta(&self.x, i)
-            + self.matrix.flip_delta(&self.x, j)
-            + self.matrix.get(i, j) * di * dj
+        let delta = self.deltas.pair_delta(&self.matrix, &self.x, i, j)
             + gaussian(rng) * self.readout_sigma;
         FlipOutcome::Feasible { delta }
     }
 
     fn commit_pair(&mut self, i: usize, j: usize, delta: f64) {
         self.apply(&[i, j]);
+        self.deltas.commit_pair(&self.x, i, j);
         self.energy += delta;
     }
 
@@ -402,6 +425,9 @@ pub struct DquboHardwareState {
     energy: f64,
     readout_sigma: f64,
     num_items: usize,
+    /// Flip-delta backend over the stored matrix (local fields by
+    /// default).
+    deltas: DeltaEngine,
 }
 
 impl DquboHardwareState {
@@ -423,6 +449,7 @@ impl DquboHardwareState {
         let typical_active = matrix.nonzeros() * bits as usize / 2;
         let readout_sigma = current_sigma_rel * (typical_active as f64).sqrt() * quant.scale();
         let energy = matrix.energy(&initial) + form.offset();
+        let deltas = DeltaEngine::local(&matrix, &initial);
         Self {
             matrix,
             offset: form.offset(),
@@ -430,7 +457,15 @@ impl DquboHardwareState {
             energy,
             readout_sigma,
             num_items: form.num_items(),
+            deltas,
         }
+    }
+
+    /// Switches to dense O(n) row-scan deltas over the stored matrix
+    /// (benchmark/equivalence use only).
+    pub fn with_dense_deltas(mut self) -> Self {
+        self.deltas = DeltaEngine::dense();
+        self
     }
 
     /// Item part of the current configuration.
@@ -469,22 +504,20 @@ impl AnnealState for DquboHardwareState {
 
     fn probe_flip(&mut self, i: usize, rng: &mut StdRng) -> FlipOutcome {
         FlipOutcome::Feasible {
-            delta: self.matrix.flip_delta(&self.x, i) + gaussian(rng) * self.readout_sigma,
+            delta: self.deltas.flip_delta(&self.matrix, &self.x, i)
+                + gaussian(rng) * self.readout_sigma,
         }
     }
 
     fn commit_flip(&mut self, i: usize, delta: f64) {
         self.x.flip(i);
+        self.deltas.commit_flip(&self.x, i);
         self.energy += delta;
     }
 
     fn probe_pair(&mut self, i: usize, j: usize, rng: &mut StdRng) -> FlipOutcome {
         assert_ne!(i, j, "pair flip needs two distinct bits");
-        let di = if self.x.get(i) { -1.0 } else { 1.0 };
-        let dj = if self.x.get(j) { -1.0 } else { 1.0 };
-        let delta = self.matrix.flip_delta(&self.x, i)
-            + self.matrix.flip_delta(&self.x, j)
-            + self.matrix.get(i, j) * di * dj
+        let delta = self.deltas.pair_delta(&self.matrix, &self.x, i, j)
             + gaussian(rng) * self.readout_sigma;
         FlipOutcome::Feasible { delta }
     }
@@ -492,6 +525,7 @@ impl AnnealState for DquboHardwareState {
     fn commit_pair(&mut self, i: usize, j: usize, delta: f64) {
         self.x.flip(i);
         self.x.flip(j);
+        self.deltas.commit_pair(&self.x, i, j);
         self.energy += delta;
     }
 }
@@ -738,6 +772,95 @@ mod tests {
                 assert!(mkp.is_feasible(hw.assignment()), "step {step} violated");
             }
         }
+    }
+
+    /// Dense and local-field backends are bit-identical on the noisy
+    /// single-filter hardware state: the 7-bit quantization of integer
+    /// QKP profits is lossless, so both backends report the exact same
+    /// deltas, consume the same RNG stream, and take the same accept
+    /// decisions — the whole trajectory matches.
+    #[test]
+    fn hycim_state_dense_and_local_runs_are_bit_identical() {
+        use hycim_anneal::{Annealer, GeometricSchedule};
+        let inst = QkpGenerator::new(30, 0.5).generate(31);
+        let iq = inst.to_inequality_qubo().unwrap();
+        let annealer = Annealer::new(GeometricSchedule::new(40.0, 0.995), 800);
+        let build = |rng: &mut StdRng| {
+            HyCimHardwareState::build(
+                &iq,
+                &FilterConfig::default(),
+                &CrossbarConfig::paper(),
+                Assignment::zeros(30),
+                rng,
+            )
+            .unwrap()
+        };
+        let mut hw_rng = StdRng::seed_from_u64(7);
+        let mut local = build(&mut hw_rng);
+        let mut hw_rng = StdRng::seed_from_u64(7);
+        let mut dense = build(&mut hw_rng).with_dense_deltas();
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let mut rng_b = StdRng::seed_from_u64(99);
+        let trace_local = annealer.run(&mut local, &mut rng_a);
+        let trace_dense = annealer.run(&mut dense, &mut rng_b);
+        assert_eq!(trace_local, trace_dense);
+        assert_eq!(local.assignment(), dense.assignment());
+        assert_eq!(local.energy(), dense.energy());
+        assert_eq!(local.load(), dense.load());
+    }
+
+    /// Same bit-identity law on the filter-bank state (MKP, 3
+    /// constraints, noisy filters).
+    #[test]
+    fn bank_state_dense_and_local_runs_are_bit_identical() {
+        use hycim_anneal::{Annealer, GeometricSchedule};
+        use hycim_cop::CopProblem;
+        let mkp = hycim_cop::mkp::MkpGenerator::new(14, 3).generate(8);
+        let mq = mkp.to_multi_inequality_qubo().unwrap();
+        let annealer = Annealer::new(GeometricSchedule::new(40.0, 0.99), 600);
+        let build = |rng: &mut StdRng| {
+            BankHardwareState::build(
+                &mq,
+                &FilterConfig::default(),
+                &CrossbarConfig::paper(),
+                Assignment::zeros(mq.dim()),
+                rng,
+            )
+            .unwrap()
+        };
+        let mut hw_rng = StdRng::seed_from_u64(11);
+        let mut local = build(&mut hw_rng);
+        let mut hw_rng = StdRng::seed_from_u64(11);
+        let mut dense = build(&mut hw_rng).with_dense_deltas();
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        let trace_local = annealer.run(&mut local, &mut rng_a);
+        let trace_dense = annealer.run(&mut dense, &mut rng_b);
+        assert_eq!(trace_local, trace_dense);
+        assert_eq!(local.loads(), dense.loads());
+    }
+
+    /// Same bit-identity law on the filterless D-QUBO baseline state
+    /// (integer penalties are lossless at the default bit width).
+    #[test]
+    fn dqubo_state_dense_and_local_runs_are_bit_identical() {
+        use hycim_anneal::{Annealer, GeometricSchedule};
+        let inst = QkpGenerator::new(12, 0.5)
+            .with_capacity_range(10, 40)
+            .generate(13);
+        let form = inst
+            .to_dqubo(PenaltyWeights::PAPER, AuxEncoding::Binary)
+            .unwrap();
+        let annealer = Annealer::new(GeometricSchedule::new(60.0, 0.99), 600);
+        let mut local = DquboHardwareState::build(&form, None, 0.02, Assignment::zeros(form.dim()));
+        let mut dense = DquboHardwareState::build(&form, None, 0.02, Assignment::zeros(form.dim()))
+            .with_dense_deltas();
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        let trace_local = annealer.run(&mut local, &mut rng_a);
+        let trace_dense = annealer.run(&mut dense, &mut rng_b);
+        assert_eq!(trace_local, trace_dense);
+        assert_eq!(local.assignment(), dense.assignment());
     }
 
     #[test]

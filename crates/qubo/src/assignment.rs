@@ -23,6 +23,10 @@ use rand::Rng;
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Assignment {
     bits: Vec<bool>,
+    /// Cached population count, maintained by every mutator so
+    /// [`ones`](Assignment::ones) is O(1) — the SA exchange-move
+    /// proposer reads it once per iteration.
+    ones: usize,
 }
 
 impl Assignment {
@@ -38,6 +42,7 @@ impl Assignment {
     pub fn zeros(n: usize) -> Self {
         Self {
             bits: vec![false; n],
+            ones: 0,
         }
     }
 
@@ -52,6 +57,7 @@ impl Assignment {
     pub fn ones_vec(n: usize) -> Self {
         Self {
             bits: vec![true; n],
+            ones: n,
         }
     }
 
@@ -65,9 +71,9 @@ impl Assignment {
     /// assert_eq!(x.len(), 3);
     /// ```
     pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
-        Self {
-            bits: bits.into_iter().collect(),
-        }
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let ones = popcount(&bits);
+        Self { bits, ones }
     }
 
     /// Parses a configuration from a string of `'0'`/`'1'` characters.
@@ -90,7 +96,7 @@ impl Assignment {
                 _ => None,
             })
             .collect::<Option<Vec<bool>>>()
-            .map(|bits| Self { bits })
+            .map(Self::from)
     }
 
     /// Draws a uniformly random configuration of `n` variables.
@@ -105,9 +111,7 @@ impl Assignment {
     /// assert_eq!(x.len(), 10);
     /// ```
     pub fn random<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
-        Self {
-            bits: (0..n).map(|_| rng.random_bool(0.5)).collect(),
-        }
+        Self::from_bits((0..n).map(|_| rng.random_bool(0.5)))
     }
 
     /// Draws a random configuration where each bit is 1 with
@@ -124,9 +128,7 @@ impl Assignment {
             (0.0..=1.0).contains(&density),
             "density must be in [0, 1], got {density}"
         );
-        Self {
-            bits: (0..n).map(|_| rng.random_bool(density)).collect(),
-        }
+        Self::from_bits((0..n).map(|_| rng.random_bool(density)))
     }
 
     /// Number of variables.
@@ -154,7 +156,10 @@ impl Assignment {
     ///
     /// Panics if `i >= self.len()`.
     pub fn set(&mut self, i: usize, value: bool) {
-        self.bits[i] = value;
+        if self.bits[i] != value {
+            self.ones = if value { self.ones + 1 } else { self.ones - 1 };
+            self.bits[i] = value;
+        }
     }
 
     /// Flips variable `i`, returning its new value.
@@ -173,12 +178,19 @@ impl Assignment {
     /// ```
     pub fn flip(&mut self, i: usize) -> bool {
         self.bits[i] = !self.bits[i];
+        self.ones = if self.bits[i] {
+            self.ones + 1
+        } else {
+            self.ones - 1
+        };
         self.bits[i]
     }
 
-    /// Number of variables set to 1 (the Hamming weight).
+    /// Number of variables set to 1 (the Hamming weight) — O(1), the
+    /// count is maintained incrementally by every mutator.
     pub fn ones(&self) -> usize {
-        self.bits.iter().filter(|&&b| b).count()
+        debug_assert_eq!(self.ones, popcount(&self.bits), "ones cache diverged");
+        self.ones
     }
 
     /// Hamming distance to another configuration.
@@ -241,7 +253,10 @@ impl Assignment {
     pub fn extended(&self, extra: usize) -> Assignment {
         let mut bits = self.bits.clone();
         bits.extend(std::iter::repeat(false).take(extra));
-        Assignment { bits }
+        Assignment {
+            bits,
+            ones: self.ones,
+        }
     }
 
     /// Returns the first `n` variables as a new configuration.
@@ -251,10 +266,14 @@ impl Assignment {
     /// Panics if `n > self.len()`.
     pub fn truncated(&self, n: usize) -> Assignment {
         assert!(n <= self.len(), "cannot truncate {} to {n}", self.len());
-        Assignment {
-            bits: self.bits[..n].to_vec(),
-        }
+        let bits = self.bits[..n].to_vec();
+        let ones = popcount(&bits);
+        Assignment { bits, ones }
     }
+}
+
+fn popcount(bits: &[bool]) -> usize {
+    bits.iter().filter(|&&b| b).count()
 }
 
 impl Index<usize> for Assignment {
@@ -273,13 +292,16 @@ impl FromIterator<bool> for Assignment {
 
 impl Extend<bool> for Assignment {
     fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        let before = self.bits.len();
         self.bits.extend(iter);
+        self.ones += popcount(&self.bits[before..]);
     }
 }
 
 impl From<Vec<bool>> for Assignment {
     fn from(bits: Vec<bool>) -> Self {
-        Self { bits }
+        let ones = popcount(&bits);
+        Self { bits, ones }
     }
 }
 

@@ -5,6 +5,10 @@
 //! * [`Assignment`] — a binary variable configuration `x ∈ {0,1}ⁿ`.
 //! * [`QuboMatrix`] — an upper-triangular QUBO matrix `Q` with energy
 //!   `E(x) = xᵀQx` (paper Eq. 2) and O(n) incremental flip deltas.
+//! * [`LocalFieldState`] / [`DeltaEngine`] — maintained local fields
+//!   `h_i = Q_ii + Σ Q_ij·x_j` over CSR neighbor lists: O(1) flip
+//!   probes and O(deg(i)) commits, the hot-path backend of every
+//!   annealing state (see [`local_field`]).
 //! * [`IsingModel`] — the equivalent spin model (paper Eq. 1) and the
 //!   exact conversions between the two forms.
 //! * [`LinearConstraint`] — an inequality constraint `Σ wᵢxᵢ ≤ C`
@@ -51,6 +55,7 @@ pub mod dqubo;
 mod error;
 mod inequality;
 mod ising;
+pub mod local_field;
 mod matrix;
 mod multi;
 pub mod quant;
@@ -60,5 +65,6 @@ pub use constraint::LinearConstraint;
 pub use error::QuboError;
 pub use inequality::InequalityQubo;
 pub use ising::IsingModel;
+pub use local_field::{DeltaEngine, LocalFieldState};
 pub use matrix::QuboMatrix;
 pub use multi::MultiInequalityQubo;

@@ -165,3 +165,115 @@ fn arb_qubo_fixed(n: usize) -> impl Strategy<Value = QuboMatrix> {
         q
     })
 }
+
+// ---------------------------------------------------------------------
+// Local-field incremental energy laws
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// A random sequence of probe/commit single- and pair-flip
+    /// operations on [`LocalFieldState`] matches the dense
+    /// `QuboMatrix::flip_delta` probe *and* a full `energy()`
+    /// recompute within 1e-9 at every step.
+    #[test]
+    fn local_field_ops_match_dense(
+        q in arb_qubo(14),
+        seed in any::<u64>(),
+        steps in 1usize..150,
+    ) {
+        use hycim_qubo::LocalFieldState;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let n = q.dim();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Assignment::random(n, &mut rng);
+        let mut lf = LocalFieldState::new(&q, &x);
+        let mut energy = q.energy(&x);
+        for _ in 0..steps {
+            let i = rng.random_range(0..n);
+            if n > 1 && rng.random_bool(0.3) {
+                let j = (i + 1 + rng.random_range(0..n - 1)) % n;
+                let delta = lf.pair_delta(&x, i, j);
+                let dense = q.flip_delta(&x, i) + q.flip_delta(&x, j)
+                    + q.get(i, j)
+                        * if x.get(i) { -1.0 } else { 1.0 }
+                        * if x.get(j) { -1.0 } else { 1.0 };
+                prop_assert!((delta - dense).abs() < 1e-9, "pair probe diverged");
+                if rng.random_bool(0.7) {
+                    x.flip(i);
+                    x.flip(j);
+                    lf.commit_pair(&x, i, j);
+                    energy += delta;
+                }
+            } else {
+                let delta = lf.flip_delta(&x, i);
+                prop_assert!((delta - q.flip_delta(&x, i)).abs() < 1e-9, "probe diverged");
+                if rng.random_bool(0.7) {
+                    x.flip(i);
+                    lf.commit_flip(&x, i);
+                    energy += delta;
+                }
+            }
+            prop_assert!((energy - q.energy(&x)).abs() < 1e-8, "tracked energy diverged");
+        }
+    }
+
+    /// The periodic refresh bounds float drift: after an arbitrarily
+    /// long committed walk with a small refresh interval, every
+    /// maintained field is within 1e-9 of the exact sum.
+    #[test]
+    fn local_field_refresh_bounds_drift(
+        q in arb_qubo(10),
+        seed in any::<u64>(),
+        walk in 50usize..400,
+    ) {
+        use hycim_qubo::LocalFieldState;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let n = q.dim();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Assignment::random(n, &mut rng);
+        let mut lf = LocalFieldState::new(&q, &x).with_refresh_interval(16);
+        for _ in 0..walk {
+            let i = rng.random_range(0..n);
+            x.flip(i);
+            lf.commit_flip(&x, i);
+        }
+        // The interval guarantees at most 15 un-refreshed commits of
+        // drift; with |Q| <= 100 that is far inside 1e-9.
+        prop_assert!(lf.commits_since_refresh() < 16);
+        for i in 0..n {
+            prop_assert!(
+                (lf.flip_delta(&x, i) - q.flip_delta(&x, i)).abs() < 1e-9,
+                "field {i} drifted past the refresh bound"
+            );
+        }
+    }
+
+    /// The cached popcount stays consistent with the bits through any
+    /// interleaving of set/flip/extend/truncate operations.
+    #[test]
+    fn ones_cache_matches_bits(
+        seed in any::<u64>(),
+        n in 1usize..40,
+        ops in proptest::collection::vec((any::<u8>(), any::<usize>()), 1..80),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Assignment::random(n, &mut rng);
+        for (op, raw) in ops {
+            if x.is_empty() {
+                break;
+            }
+            let i = raw % x.len();
+            match op % 5 {
+                0 => x.set(i, true),
+                1 => x.set(i, false),
+                2 => {
+                    x.flip(i);
+                }
+                3 => x = x.extended(1),
+                _ => x = x.truncated(x.len() - (x.len() > 1) as usize),
+            }
+            prop_assert_eq!(x.ones(), x.support().len(), "ones cache diverged");
+        }
+    }
+}

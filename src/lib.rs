@@ -73,7 +73,8 @@ pub mod prelude {
         HyCimEngine, HyCimSolver, HycimError, SoftwareEngine, SoftwareSolver, Solution,
     };
     pub use hycim_qubo::{
-        Assignment, InequalityQubo, IsingModel, LinearConstraint, MultiInequalityQubo, QuboMatrix,
+        Assignment, DeltaEngine, InequalityQubo, IsingModel, LinearConstraint, LocalFieldState,
+        MultiInequalityQubo, QuboMatrix,
     };
     pub use hycim_service::{JobId, JobResult, JobService, JobStatus, ServiceConfig};
 }

@@ -10,154 +10,19 @@
 //! a pure hot-path speedup, not an algorithmic change.
 //!
 //! Emits `BENCH_hotpath.json` (override with `--out`), the repo's
-//! perf-trajectory artifact, and validates its shape before exiting.
+//! perf-trajectory artifact, schema `hycim-hotpath/v2` with a `meta`
+//! provenance block (`HYCIM_GIT_DESCRIBE` / `SOURCE_DATE_EPOCH`
+//! environment variables, `"unknown"` when unset), and validates its
+//! shape before exiting. The measurement and rendering logic lives in
+//! [`hycim_bench::hotpath`], shared with the `bench_gate` drift probe.
 //!
 //! ```text
 //! cargo run --release -p hycim-bench --bin hotpath_report -- \
 //!     --sizes 64,256,512 --iters-per-var 60
 //! ```
 
-use std::time::Instant;
-
-use hycim_anneal::{
-    AnnealState, AnnealTrace, Annealer, GeometricSchedule, PenaltyState, SoftwareState,
-};
-use hycim_bench::{bar, validate_hotpath_json, Args, HOTPATH_SCHEMA};
-use hycim_cop::generator::QkpGenerator;
-use hycim_cop::maxcut::MaxCut;
-use hycim_cop::spinglass::SpinGlass;
-use hycim_cop::CopProblem;
-use hycim_qubo::dqubo::{AuxEncoding, PenaltyWeights};
-use hycim_qubo::{Assignment, InequalityQubo, QuboMatrix};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-struct Row {
-    family: &'static str,
-    state: &'static str,
-    n: usize,
-    nnz: usize,
-    avg_degree: f64,
-    iterations: usize,
-    dense_ips: f64,
-    local_ips: f64,
-    bit_identical: bool,
-}
-
-impl Row {
-    fn speedup(&self) -> f64 {
-        self.local_ips / self.dense_ips
-    }
-}
-
-fn degree_stats(q: &QuboMatrix) -> (usize, f64) {
-    let nnz = q.nonzeros();
-    let off_diag = q.iter_nonzero().filter(|&(i, j, _)| i != j).count();
-    let avg_degree = 2.0 * off_diag as f64 / q.dim().max(1) as f64;
-    (nnz, avg_degree)
-}
-
-/// Times `annealer.run` on a fresh state from `make`, returning
-/// (iterations/sec, final trace). One untimed warmup run absorbs
-/// first-touch effects.
-fn time_run<S: AnnealState>(
-    annealer: &Annealer<GeometricSchedule>,
-    seed: u64,
-    make: impl Fn() -> S,
-) -> (f64, AnnealTrace) {
-    let mut warm = make();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let _ = annealer.run(&mut warm, &mut rng);
-
-    let mut state = make();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let start = Instant::now();
-    let trace = annealer.run(&mut state, &mut rng);
-    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
-    (annealer.iterations() as f64 / elapsed, trace)
-}
-
-fn software_row(family: &'static str, iq: &InequalityQubo, iters_per_var: usize, seed: u64) -> Row {
-    let n = iq.dim();
-    let iterations = (iters_per_var * n).max(1);
-    let annealer = Annealer::new(GeometricSchedule::new(50.0, 0.999), iterations).without_trace();
-    let (dense_ips, dense_trace) = time_run(&annealer, seed, || {
-        SoftwareState::new(iq, Assignment::zeros(n)).with_dense_deltas()
-    });
-    let (local_ips, local_trace) = time_run(&annealer, seed, || {
-        SoftwareState::new(iq, Assignment::zeros(n))
-    });
-    let (nnz, avg_degree) = degree_stats(iq.objective());
-    Row {
-        family,
-        state: "software",
-        n,
-        nnz,
-        avg_degree,
-        iterations,
-        dense_ips,
-        local_ips,
-        bit_identical: dense_trace == local_trace,
-    }
-}
-
-fn penalty_row(n_items: usize, iters_per_var: usize, seed: u64) -> Row {
-    let inst = QkpGenerator::new(n_items, 0.25).generate(seed);
-    let form = inst
-        .to_dqubo(PenaltyWeights::PAPER, AuxEncoding::Binary)
-        .expect("QKP transforms");
-    let n = form.dim();
-    let iterations = (iters_per_var * n).max(1);
-    let annealer = Annealer::new(GeometricSchedule::new(50.0, 0.999), iterations).without_trace();
-    let (dense_ips, dense_trace) = time_run(&annealer, seed, || {
-        PenaltyState::new(&form, Assignment::zeros(n)).with_dense_deltas()
-    });
-    let (local_ips, local_trace) = time_run(&annealer, seed, || {
-        PenaltyState::new(&form, Assignment::zeros(n))
-    });
-    let (nnz, avg_degree) = degree_stats(form.matrix());
-    Row {
-        family: "qkp-dqubo",
-        state: "penalty",
-        n,
-        nnz,
-        avg_degree,
-        iterations,
-        dense_ips,
-        local_ips,
-        bit_identical: dense_trace == local_trace,
-    }
-}
-
-fn emit_json(rows: &[Row], iters_per_var: usize) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"schema\": \"{HOTPATH_SCHEMA}\",\n"));
-    out.push_str("  \"bin\": \"hotpath_report\",\n");
-    out.push_str("  \"units\": \"iterations_per_second\",\n");
-    out.push_str(&format!("  \"iters_per_var\": {iters_per_var},\n"));
-    out.push_str("  \"rows\": [\n");
-    for (k, r) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{ \"family\": \"{}\", \"state\": \"{}\", \"n\": {}, \"nnz\": {}, \
-             \"avg_degree\": {:.2}, \"iterations\": {}, \"dense_iters_per_sec\": {:.1}, \
-             \"local_iters_per_sec\": {:.1}, \"speedup\": {:.2}, \"bit_identical\": {} }}{}\n",
-            r.family,
-            r.state,
-            r.n,
-            r.nnz,
-            r.avg_degree,
-            r.iterations,
-            r.dense_ips,
-            r.local_ips,
-            r.speedup(),
-            r.bit_identical,
-            if k + 1 < rows.len() { "," } else { "" },
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
-}
+use hycim_bench::hotpath::{family_row, render_hotpath_json};
+use hycim_bench::{bar, validate_hotpath_json, Args, ReportMeta};
 
 fn main() {
     let args = Args::parse();
@@ -179,26 +44,7 @@ fn main() {
     let mut rows = Vec::new();
     for &n in &sizes {
         for family in families.split(',').map(str::trim) {
-            let row = match family {
-                "maxcut" => {
-                    let g = MaxCut::random(n, maxcut_density, seed.wrapping_add(n as u64));
-                    let iq = CopProblem::to_inequality_qubo(&g).expect("max-cut encodes");
-                    software_row("maxcut", &iq, iters_per_var, seed)
-                }
-                "spinglass" => {
-                    let sg = SpinGlass::random_binary(n.max(2), seed.wrapping_add(n as u64))
-                        .expect("n >= 2");
-                    let iq = CopProblem::to_inequality_qubo(&sg).expect("spin glass encodes");
-                    software_row("spinglass", &iq, iters_per_var, seed)
-                }
-                "qkp" => {
-                    let inst = QkpGenerator::new(n, qkp_density).generate(seed);
-                    let iq = inst.to_inequality_qubo().expect("QKP encodes");
-                    software_row("qkp", &iq, iters_per_var, seed)
-                }
-                "qkp-dqubo" => penalty_row(n, iters_per_var, seed),
-                other => panic!("unknown family {other:?}"),
-            };
+            let row = family_row(family, n, iters_per_var, seed, maxcut_density, qkp_density);
             println!(
                 "{:<11} {:>6} {:>9} {:>7.1} {:>13.0} {:>13.0} {:>7.1}x  {}",
                 row.family,
@@ -219,7 +65,7 @@ fn main() {
         }
     }
 
-    let doc = emit_json(&rows, iters_per_var);
+    let doc = render_hotpath_json(&rows, iters_per_var, &ReportMeta::from_env());
     validate_hotpath_json(&doc).expect("emitted report must be well-formed");
     std::fs::write(&out_path, &doc).expect("writable output path");
     println!("\nwrote {out_path} ({} rows, shape validated)", rows.len());

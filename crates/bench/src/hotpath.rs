@@ -1,0 +1,234 @@
+//! SA hot-path throughput measurement: dense O(n) row-scan deltas vs
+//! the maintained local-field backend, shared by the `hotpath_report`
+//! bin (which sweeps the full family × size matrix) and the
+//! `bench_gate` bin (which re-times a single small probe cell for the
+//! throughput-drift warning).
+
+use std::time::Instant;
+
+use hycim_anneal::{
+    AnnealState, AnnealTrace, Annealer, GeometricSchedule, PenaltyState, SoftwareState,
+};
+use hycim_cop::generator::QkpGenerator;
+use hycim_cop::maxcut::MaxCut;
+use hycim_cop::spinglass::SpinGlass;
+use hycim_cop::CopProblem;
+use hycim_qubo::dqubo::{AuxEncoding, PenaltyWeights};
+use hycim_qubo::{Assignment, InequalityQubo, QuboMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::check::{ReportMeta, HOTPATH_SCHEMA};
+
+/// One (family, n) cell of the hotpath report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotpathRow {
+    /// Problem family tag (`"maxcut"`, `"spinglass"`, `"qkp"`,
+    /// `"qkp-dqubo"`).
+    pub family: &'static str,
+    /// Anneal-state backend (`"software"` or `"penalty"`).
+    pub state: &'static str,
+    /// Encoded dimension.
+    pub n: usize,
+    /// Nonzeros of the encoded matrix.
+    pub nnz: usize,
+    /// Average off-diagonal degree.
+    pub avg_degree: f64,
+    /// Iterations per timed run.
+    pub iterations: usize,
+    /// Dense-delta backend throughput, iterations/second.
+    pub dense_ips: f64,
+    /// Local-field backend throughput, iterations/second.
+    pub local_ips: f64,
+    /// Whether both backends produced bit-identical trajectories.
+    pub bit_identical: bool,
+}
+
+impl HotpathRow {
+    /// Local-field speedup over the dense backend.
+    pub fn speedup(&self) -> f64 {
+        self.local_ips / self.dense_ips
+    }
+}
+
+fn degree_stats(q: &QuboMatrix) -> (usize, f64) {
+    let nnz = q.nonzeros();
+    let off_diag = q.iter_nonzero().filter(|&(i, j, _)| i != j).count();
+    let avg_degree = 2.0 * off_diag as f64 / q.dim().max(1) as f64;
+    (nnz, avg_degree)
+}
+
+/// Times `annealer.run` on a fresh state from `make`, returning
+/// (iterations/sec, final trace). One untimed warmup run absorbs
+/// first-touch effects.
+fn time_run<S: AnnealState>(
+    annealer: &Annealer<GeometricSchedule>,
+    seed: u64,
+    make: impl Fn() -> S,
+) -> (f64, AnnealTrace) {
+    let mut warm = make();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let _ = annealer.run(&mut warm, &mut rng);
+
+    let mut state = make();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = Instant::now();
+    let trace = annealer.run(&mut state, &mut rng);
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    (annealer.iterations() as f64 / elapsed, trace)
+}
+
+/// Times one inequality-QUBO encoding on both software delta backends.
+pub fn software_row(
+    family: &'static str,
+    iq: &InequalityQubo,
+    iters_per_var: usize,
+    seed: u64,
+) -> HotpathRow {
+    let n = iq.dim();
+    let iterations = (iters_per_var * n).max(1);
+    let annealer = Annealer::new(GeometricSchedule::new(50.0, 0.999), iterations).without_trace();
+    let (dense_ips, dense_trace) = time_run(&annealer, seed, || {
+        SoftwareState::new(iq, Assignment::zeros(n)).with_dense_deltas()
+    });
+    let (local_ips, local_trace) = time_run(&annealer, seed, || {
+        SoftwareState::new(iq, Assignment::zeros(n))
+    });
+    let (nnz, avg_degree) = degree_stats(iq.objective());
+    HotpathRow {
+        family,
+        state: "software",
+        n,
+        nnz,
+        avg_degree,
+        iterations,
+        dense_ips,
+        local_ips,
+        bit_identical: dense_trace == local_trace,
+    }
+}
+
+/// Times the D-QUBO penalty encoding of a generated QKP instance on
+/// both delta backends.
+pub fn penalty_row(n_items: usize, iters_per_var: usize, seed: u64) -> HotpathRow {
+    let inst = QkpGenerator::new(n_items, 0.25).generate(seed);
+    let form = inst
+        .to_dqubo(PenaltyWeights::PAPER, AuxEncoding::Binary)
+        .expect("QKP transforms");
+    let n = form.dim();
+    let iterations = (iters_per_var * n).max(1);
+    let annealer = Annealer::new(GeometricSchedule::new(50.0, 0.999), iterations).without_trace();
+    let (dense_ips, dense_trace) = time_run(&annealer, seed, || {
+        PenaltyState::new(&form, Assignment::zeros(n)).with_dense_deltas()
+    });
+    let (local_ips, local_trace) = time_run(&annealer, seed, || {
+        PenaltyState::new(&form, Assignment::zeros(n))
+    });
+    let (nnz, avg_degree) = degree_stats(form.matrix());
+    HotpathRow {
+        family: "qkp-dqubo",
+        state: "penalty",
+        n,
+        nnz,
+        avg_degree,
+        iterations,
+        dense_ips,
+        local_ips,
+        bit_identical: dense_trace == local_trace,
+    }
+}
+
+/// Builds the row for one named family at size `n`, with the same
+/// generation parameters for every caller (so the gate's drift probe
+/// re-measures exactly what `hotpath_report` committed).
+///
+/// # Panics
+///
+/// Panics on an unknown family tag.
+pub fn family_row(
+    family: &str,
+    n: usize,
+    iters_per_var: usize,
+    seed: u64,
+    maxcut_density: f64,
+    qkp_density: f64,
+) -> HotpathRow {
+    match family {
+        "maxcut" => {
+            let g = MaxCut::random(n, maxcut_density, seed.wrapping_add(n as u64));
+            let iq = CopProblem::to_inequality_qubo(&g).expect("max-cut encodes");
+            software_row("maxcut", &iq, iters_per_var, seed)
+        }
+        "spinglass" => {
+            let sg =
+                SpinGlass::random_binary(n.max(2), seed.wrapping_add(n as u64)).expect("n >= 2");
+            let iq = CopProblem::to_inequality_qubo(&sg).expect("spin glass encodes");
+            software_row("spinglass", &iq, iters_per_var, seed)
+        }
+        "qkp" => {
+            let inst = QkpGenerator::new(n, qkp_density).generate(seed);
+            let iq = inst.to_inequality_qubo().expect("QKP encodes");
+            software_row("qkp", &iq, iters_per_var, seed)
+        }
+        "qkp-dqubo" => penalty_row(n, iters_per_var, seed),
+        other => panic!("unknown family {other:?}"),
+    }
+}
+
+/// Renders the `BENCH_hotpath.json` (schema v2) document.
+pub fn render_hotpath_json(rows: &[HotpathRow], iters_per_var: usize, meta: &ReportMeta) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{HOTPATH_SCHEMA}\",\n"));
+    out.push_str("  \"bin\": \"hotpath_report\",\n");
+    out.push_str(&format!("  {},\n", meta.render()));
+    out.push_str("  \"units\": \"iterations_per_second\",\n");
+    out.push_str(&format!("  \"iters_per_var\": {iters_per_var},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (k, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"family\": \"{}\", \"state\": \"{}\", \"n\": {}, \"nnz\": {}, \
+             \"avg_degree\": {:.2}, \"iterations\": {}, \"dense_iters_per_sec\": {:.1}, \
+             \"local_iters_per_sec\": {:.1}, \"speedup\": {:.2}, \"bit_identical\": {} }}{}\n",
+            r.family,
+            r.state,
+            r.n,
+            r.nnz,
+            r.avg_degree,
+            r.iterations,
+            r.dense_ips,
+            r.local_ips,
+            r.speedup(),
+            r.bit_identical,
+            if k + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{parse_hotpath_rows, validate_hotpath_json};
+
+    #[test]
+    fn family_rows_time_and_stay_bit_identical() {
+        for family in ["maxcut", "spinglass", "qkp", "qkp-dqubo"] {
+            let row = family_row(family, 24, 4, 1, 0.3, 0.25);
+            assert!(row.dense_ips > 0.0 && row.local_ips > 0.0, "{family}");
+            assert!(row.bit_identical, "{family} trajectories diverged");
+        }
+    }
+
+    #[test]
+    fn rendered_v2_report_validates_and_extracts() {
+        let rows = vec![family_row("maxcut", 16, 3, 1, 0.3, 0.25)];
+        let doc = render_hotpath_json(&rows, 3, &ReportMeta::unknown());
+        validate_hotpath_json(&doc).expect("v2 document validates");
+        let extracted = parse_hotpath_rows(&doc).expect("rows extract");
+        assert_eq!(extracted.len(), 1);
+        assert_eq!(extracted[0].0, "maxcut");
+        assert_eq!(extracted[0].1, 16);
+    }
+}

@@ -15,19 +15,43 @@
 //!   `benches/ablation_benches.rs`) — throughput of the hot paths
 //!   (filter evaluation, crossbar VMV, SA iterations, COP→QUBO
 //!   transformations) and of the ablation variants.
-//! * **This library** — the tiny dependency-free CLI parser and
-//!   reporting helpers the binaries share, so each `fig*` binary
-//!   stays a self-contained experiment script.
+//! * **The study subsystem** ([`recipe`], [`study`], [`stats`],
+//!   [`gate`]) — declarative [`StudyRecipe`]s expanded by the
+//!   [`StudyRunner`] into the replica × problem × engine grid, ranked
+//!   per engine, emitted as the committed `BENCH_study.json`
+//!   (`study_report` bin) and regression-gated against it
+//!   (`bench_gate` bin).
+//! * **This library** — the tiny dependency-free CLI parser,
+//!   reporting helpers, and `BENCH_*.json` validators ([`check`]) the
+//!   binaries share, so each binary stays a self-contained experiment
+//!   script.
 //!
 //! Run everything from the workspace root:
 //!
 //! ```text
 //! cargo run --release -p hycim-bench --bin fig10_success -- --sweeps 1000
+//! cargo run --release -p hycim-bench --bin study_report -- --preset default
+//! cargo run --release -p hycim-bench --bin bench_gate
 //! cargo bench -p hycim-bench --bench solver_benches
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod check;
+pub mod gate;
+pub mod hotpath;
+pub mod recipe;
+pub mod stats;
+pub mod study;
+
+pub use check::{
+    parse_hotpath_rows, parse_study_cells, validate_hotpath_json, validate_study_json,
+    CommittedCell, ReportMeta, HOTPATH_ROW_KEYS, HOTPATH_SCHEMA, HOTPATH_SCHEMA_V1, STUDY_SCHEMA,
+};
+pub use recipe::{EngineKind, Family, FamilySpec, RecipeError, StudyRecipe};
+pub use stats::{rank_cells, rank_engines, CellSummary, EngineRanking, ProblemSummary};
+pub use study::{render_study_json, StudyResult, StudyRunner};
 
 use std::collections::HashMap;
 use std::env;
@@ -139,81 +163,6 @@ impl Args {
     }
 }
 
-/// Schema tag the `hotpath_report` binary stamps into
-/// `BENCH_hotpath.json`.
-pub const HOTPATH_SCHEMA: &str = "hycim-hotpath/v1";
-
-/// Keys every row of a hotpath report must carry.
-pub const HOTPATH_ROW_KEYS: [&str; 9] = [
-    "family",
-    "state",
-    "n",
-    "nnz",
-    "avg_degree",
-    "iterations",
-    "dense_iters_per_sec",
-    "local_iters_per_sec",
-    "speedup",
-];
-
-/// Validates the shape of an emitted `BENCH_hotpath.json` document:
-/// schema tag, balanced braces/brackets, at least one row, every row
-/// carrying every required key, and strictly positive finite
-/// throughput numbers. The `hotpath_report` binary re-reads its own
-/// output through this check, so CI smoke runs fail loudly on a
-/// malformed report.
-///
-/// # Errors
-///
-/// Returns a human-readable description of the first violation.
-pub fn validate_hotpath_json(doc: &str) -> Result<(), String> {
-    if !doc.trim_start().starts_with('{') {
-        return Err("document does not start with an object".into());
-    }
-    if !doc.contains(&format!("\"schema\": \"{HOTPATH_SCHEMA}\"")) {
-        return Err(format!("missing schema tag {HOTPATH_SCHEMA:?}"));
-    }
-    for (open, close, label) in [('{', '}', "braces"), ('[', ']', "brackets")] {
-        let opens = doc.matches(open).count();
-        let closes = doc.matches(close).count();
-        if opens != closes {
-            return Err(format!(
-                "unbalanced {label}: {opens} open vs {closes} close"
-            ));
-        }
-    }
-    let rows: Vec<&str> = doc
-        .split("{ \"family\":")
-        .skip(1)
-        .map(|r| r.split('}').next().unwrap_or(""))
-        .collect();
-    if rows.is_empty() {
-        return Err("no rows found".into());
-    }
-    for (idx, row) in rows.iter().enumerate() {
-        let row = format!("\"family\":{row}");
-        for key in HOTPATH_ROW_KEYS {
-            if !row.contains(&format!("\"{key}\":")) {
-                return Err(format!("row {idx} missing key {key:?}"));
-            }
-        }
-        for key in ["dense_iters_per_sec", "local_iters_per_sec", "speedup"] {
-            let value = row
-                .split(&format!("\"{key}\": "))
-                .nth(1)
-                .and_then(|rest| rest.split([',', ' ', '\n']).next())
-                .ok_or_else(|| format!("row {idx}: cannot locate {key:?}"))?;
-            let parsed: f64 = value
-                .parse()
-                .map_err(|_| format!("row {idx}: {key} = {value:?} is not a number"))?;
-            if !(parsed.is_finite() && parsed > 0.0) {
-                return Err(format!("row {idx}: {key} = {parsed} is not positive"));
-            }
-        }
-    }
-    Ok(())
-}
-
 /// Mean of a slice.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -292,29 +241,6 @@ mod tests {
         assert_eq!(args.get_str("missing", "d.json"), "d.json");
         assert_eq!(args.get_usize_list("sizes", &[1]), vec![64, 256]);
         assert_eq!(args.get_usize_list("absent", &[1, 2]), vec![1, 2]);
-    }
-
-    #[test]
-    fn hotpath_validator_accepts_wellformed() {
-        let doc = format!(
-            "{{\n  \"schema\": \"{HOTPATH_SCHEMA}\",\n  \"rows\": [\n                 {{ \"family\": \"maxcut\", \"state\": \"software\", \"n\": 256, \"nnz\": 10,              \"avg_degree\": 2.0, \"iterations\": 100, \"dense_iters_per_sec\": 1e6,              \"local_iters_per_sec\": 9e6, \"speedup\": 9.0, \"bit_identical\": true }}\n  ]\n}}\n"
-        );
-        validate_hotpath_json(&doc).expect("valid document");
-    }
-
-    #[test]
-    fn hotpath_validator_rejects_malformed() {
-        assert!(validate_hotpath_json("[]").is_err());
-        assert!(validate_hotpath_json("{}").is_err(), "missing schema");
-        let no_rows = format!("{{ \"schema\": \"{HOTPATH_SCHEMA}\", \"rows\": [] }}");
-        assert!(validate_hotpath_json(&no_rows).is_err(), "no rows");
-        let bad_speedup = format!(
-            "{{ \"schema\": \"{HOTPATH_SCHEMA}\", \"rows\": [ {{ \"family\": \"m\",              \"state\": \"s\", \"n\": 1, \"nnz\": 1, \"avg_degree\": 1, \"iterations\": 1,              \"dense_iters_per_sec\": 1.0, \"local_iters_per_sec\": 1.0, \"speedup\": -3.0 }} ] }}"
-        );
-        assert!(
-            validate_hotpath_json(&bad_speedup).is_err(),
-            "negative speedup"
-        );
     }
 
     #[test]

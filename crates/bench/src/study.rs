@@ -1,0 +1,441 @@
+//! The study runner: expands a [`StudyRecipe`] into its replica ×
+//! problem × engine grid, executes every cell through the
+//! deterministic [`BatchRunner`], and folds the results into
+//! per-problem summaries plus cross-problem engine rankings.
+//!
+//! Determinism contract: every value that reaches the summaries (and
+//! therefore `BENCH_study.json`) is a pure function of the recipe —
+//! instance seeds, solve seeds, and hardware seeds all derive from
+//! the study seed and each instance's canonical key, and the
+//! [`BatchRunner`] guarantees bit-identical solves at any thread
+//! count. Wall-clock telemetry is collected (for stdout reporting)
+//! but never rendered into the artifact. Because seeding is keyed and
+//! not positional, any sub-recipe — the CI gate — reproduces the
+//! exact cells of a superset study.
+
+use hycim_anneal::AnnealTrace;
+use hycim_cop::binpack::BinPacking;
+use hycim_cop::coloring::GraphColoring;
+use hycim_cop::generator::QkpGenerator;
+use hycim_cop::knapsack::Knapsack;
+use hycim_cop::maxcut::MaxCut;
+use hycim_cop::mkp::MkpGenerator;
+use hycim_cop::spinglass::SpinGlass;
+use hycim_cop::tsp::Tsp;
+use hycim_cop::CopProblem;
+use hycim_core::{
+    BankEngine, BatchRunner, DquboConfig, DquboEngine, Engine, HyCimConfig, HyCimEngine,
+    SoftwareEngine,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::check::ReportMeta;
+use crate::check::STUDY_SCHEMA;
+use crate::recipe::{EngineKind, Family, FamilySpec, StudyRecipe};
+use crate::stats::{rank_engines, summarize_cell, CellSummary, EngineRanking, ProblemSummary};
+
+/// Outcome of one study run: the deterministic summaries plus the
+/// (nondeterministic, stdout-only) execution telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyResult {
+    /// The recipe that was run.
+    pub recipe: StudyRecipe,
+    /// Per-problem summaries, in recipe instance order.
+    pub problems: Vec<ProblemSummary>,
+    /// Cross-problem engine rankings, best-first.
+    pub rankings: Vec<EngineRanking>,
+    /// Total wall-clock spent inside engine solves, in seconds
+    /// (telemetry; never rendered into the JSON artifact).
+    pub wall_seconds: f64,
+    /// Total annealing iterations across all cells (deterministic).
+    pub total_iterations: u64,
+}
+
+impl StudyResult {
+    /// Number of (problem, engine) cells the study ran.
+    pub fn cells(&self) -> usize {
+        self.problems.iter().map(|p| p.cells.len()).sum()
+    }
+
+    /// Flattens to `(instance key, cell)` pairs — the fresh side of
+    /// the regression gate's comparison.
+    pub fn fresh_cells(&self) -> Vec<(String, CellSummary)> {
+        self.problems
+            .iter()
+            .flat_map(|p| p.cells.iter().map(|c| (p.problem.clone(), c.clone())))
+            .collect()
+    }
+}
+
+/// Executes [`StudyRecipe`]s over the engine matrix.
+#[derive(Debug, Clone)]
+pub struct StudyRunner {
+    runner: BatchRunner,
+}
+
+impl StudyRunner {
+    /// A runner using the stack-wide default thread count.
+    pub fn new() -> Self {
+        Self {
+            runner: BatchRunner::new(),
+        }
+    }
+
+    /// Overrides the worker-thread count (the summaries are
+    /// bit-identical regardless — this only changes wall-clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.runner = BatchRunner::new().with_threads(threads);
+        self
+    }
+
+    /// Runs the full grid of a recipe.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the instance and engine if any cell of
+    /// the grid cannot be constructed (a family that does not map onto
+    /// a requested backend).
+    pub fn run(&self, recipe: &StudyRecipe) -> Result<StudyResult, String> {
+        let mut problems = Vec::new();
+        let mut wall_seconds = 0.0;
+        let mut total_iterations = 0u64;
+        for (spec, n, key) in recipe.instances() {
+            let iseed = recipe.instance_seed(&key);
+            let (summary, wall, iters) = match spec.family {
+                Family::Qkp { density_pct } => {
+                    let inst = QkpGenerator::new(n, density_pct as f64 / 100.0).generate(iseed);
+                    run_instance(&inst, &spec, n, &key, recipe, &self.runner)
+                }
+                Family::Knapsack => run_instance(
+                    &random_knapsack(n, iseed),
+                    &spec,
+                    n,
+                    &key,
+                    recipe,
+                    &self.runner,
+                ),
+                Family::MaxCut { density_pct } => {
+                    let g = MaxCut::random(n, density_pct as f64 / 100.0, iseed);
+                    run_instance(&g, &spec, n, &key, recipe, &self.runner)
+                }
+                Family::SpinGlass => {
+                    let sg =
+                        SpinGlass::random_binary(n, iseed).map_err(|e| format!("{key}: {e}"))?;
+                    run_instance(&sg, &spec, n, &key, recipe, &self.runner)
+                }
+                Family::Tsp => {
+                    let tsp =
+                        Tsp::random_euclidean(n, 10.0, iseed).map_err(|e| format!("{key}: {e}"))?;
+                    run_instance(&tsp, &spec, n, &key, recipe, &self.runner)
+                }
+                Family::Coloring { colors } => {
+                    let g = GraphColoring::random(n, 0.3, colors as usize, iseed);
+                    run_instance(&g, &spec, n, &key, recipe, &self.runner)
+                }
+                Family::BinPack { bins } => {
+                    let bp = random_bin_packing(n, bins as usize, iseed);
+                    run_instance(&bp, &spec, n, &key, recipe, &self.runner)
+                }
+                Family::Mkp { dims } => {
+                    let mkp = MkpGenerator::new(n, dims as usize).generate(iseed);
+                    run_instance(&mkp, &spec, n, &key, recipe, &self.runner)
+                }
+            }?;
+            wall_seconds += wall;
+            total_iterations += iters;
+            problems.push(summary);
+        }
+        let rankings = rank_engines(&problems);
+        Ok(StudyResult {
+            recipe: recipe.clone(),
+            problems,
+            rankings,
+            wall_seconds,
+            total_iterations,
+        })
+    }
+}
+
+impl Default for StudyRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Builds the engine column for one problem instance (`'static`
+/// because the boxed engine owns its clone of the problem).
+fn build_engine<P: CopProblem + 'static>(
+    kind: EngineKind,
+    problem: &P,
+    key: &str,
+    recipe: &StudyRecipe,
+) -> Result<Box<dyn Engine<P>>, String> {
+    let config = HyCimConfig::default()
+        .with_sweeps(recipe.sweeps)
+        .with_trace();
+    let hw_seed = recipe.hardware_seed(key);
+    let fail = |e| format!("{key} does not run on {}: {e}", kind.tag());
+    Ok(match kind {
+        EngineKind::Software => Box::new(SoftwareEngine::new(problem, &config).map_err(fail)?),
+        EngineKind::HyCim => Box::new(HyCimEngine::new(problem, &config, hw_seed).map_err(fail)?),
+        EngineKind::Bank => Box::new(BankEngine::new(problem, &config, hw_seed).map_err(fail)?),
+        EngineKind::Dqubo => {
+            let mut dq = DquboConfig::default().with_sweeps(recipe.sweeps);
+            dq.record_trace = true;
+            Box::new(DquboEngine::new(problem, &dq).map_err(fail)?)
+        }
+    })
+}
+
+/// Annealing iterations until a run first touched its best energy —
+/// the deterministic time-to-target proxy (index 0 = already optimal
+/// at the initial configuration).
+fn iters_to_best(trace: &AnnealTrace) -> usize {
+    let best = trace.best_energy();
+    trace
+        .energies()
+        .iter()
+        .position(|&e| e == best)
+        .unwrap_or(0)
+}
+
+fn run_instance<P: CopProblem + 'static>(
+    problem: &P,
+    spec: &FamilySpec,
+    n: usize,
+    key: &str,
+    recipe: &StudyRecipe,
+    runner: &BatchRunner,
+) -> Result<(ProblemSummary, f64, u64), String> {
+    let mut batches = Vec::new();
+    for &kind in &recipe.engines {
+        let engine = build_engine(kind, problem, key, recipe)?;
+        let runs = runner.run_telemetry(&engine, recipe.replicas, recipe.solve_seed(key));
+        batches.push((kind, runs));
+    }
+
+    // Problem-local reference: the instance's exact/heuristic
+    // reference folded with the best feasible solve of any engine on
+    // this problem — never values from other problems, so recipe
+    // subsetting cannot shift it.
+    let best_seen = batches
+        .iter()
+        .flat_map(|(_, runs)| runs.iter())
+        .filter(|(s, _)| s.feasible)
+        .map(|(s, _)| s.objective)
+        .fold(f64::INFINITY, f64::min);
+    let reference = problem
+        .reference_objective(recipe.instance_seed(key))
+        .unwrap_or(f64::INFINITY)
+        .min(best_seen);
+
+    let mut wall = 0.0;
+    let mut iterations = 0u64;
+    let mut cells = Vec::new();
+    for (kind, runs) in &batches {
+        let scores: Vec<(f64, bool, bool, usize, usize)> = runs
+            .iter()
+            .map(|(s, t)| {
+                (
+                    s.objective,
+                    s.feasible,
+                    s.objective_success(reference),
+                    iters_to_best(&s.trace),
+                    t.iterations,
+                )
+            })
+            .collect();
+        wall += runs.iter().map(|(_, t)| t.wall_seconds).sum::<f64>();
+        iterations += scores.iter().map(|s| s.4 as u64).sum::<u64>();
+        cells.push(summarize_cell(kind.tag(), &scores));
+    }
+    let summary = ProblemSummary {
+        problem: key.to_string(),
+        family: spec.family.tag().to_string(),
+        n,
+        dim: problem.dim(),
+        reference,
+        cells,
+    };
+    Ok((summary, wall, iterations))
+}
+
+/// A seeded linear knapsack: weights comfortably below the filter's
+/// 64-unit column budget, capacity around half the total weight.
+fn random_knapsack(items: usize, seed: u64) -> Knapsack {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<u64> = (0..items).map(|_| rng.random_range(1..=30)).collect();
+    let profits: Vec<u64> = (0..items).map(|_| rng.random_range(1..=60)).collect();
+    let max_w = weights.iter().copied().max().unwrap_or(1);
+    let capacity = (weights.iter().sum::<u64>() / 2).max(max_w);
+    Knapsack::new(profits, weights, capacity).expect("valid knapsack")
+}
+
+/// A seeded packable bin-packing instance (~80% fill; retries until
+/// first-fit-decreasing succeeds so every instance is solvable).
+fn random_bin_packing(items: usize, bins: usize, seed: u64) -> BinPacking {
+    let mut rng = StdRng::seed_from_u64(seed);
+    loop {
+        let sizes: Vec<u64> = (0..items).map(|_| rng.random_range(2..=9)).collect();
+        let total: u64 = sizes.iter().sum();
+        let capacity = (total * 5 / 4 / bins as u64).max(9);
+        let bp = BinPacking::new(sizes, capacity, bins).expect("valid sizes");
+        if bp.first_fit_decreasing().is_some() {
+            return bp;
+        }
+    }
+}
+
+/// Formats a number with fixed decimals, rendering non-finite values
+/// as JSON `null` (infinite objectives mean "no finite result").
+fn fmt_num(v: f64, decimals: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.decimals$}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the `BENCH_study.json` document for a study result.
+///
+/// Every rendered value is deterministic (fixed decimal formatting,
+/// no wall-clock), so the document is bit-identical across thread
+/// counts and machines for the same recipe.
+pub fn render_study_json(result: &StudyResult, meta: &ReportMeta) -> String {
+    let r = &result.recipe;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{STUDY_SCHEMA}\",\n"));
+    out.push_str("  \"bin\": \"study_report\",\n");
+    out.push_str(&format!("  {},\n", meta.render()));
+    out.push_str(&format!(
+        "  \"study\": \"{}\", \"seed\": {}, \"replicas\": {}, \"sweeps\": {},\n",
+        r.name, r.seed, r.replicas, r.sweeps
+    ));
+    let engines: Vec<String> = r.engines.iter().map(|e| format!("\"{e}\"")).collect();
+    out.push_str(&format!("  \"engines\": [{}],\n", engines.join(", ")));
+    out.push_str("  \"problems\": [\n");
+    for (i, p) in result.problems.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"problem\": \"{}\", \"family\": \"{}\", \"n\": {}, \"dim\": {}, \
+             \"reference\": {}, \"cells\": [\n",
+            p.problem,
+            p.family,
+            p.n,
+            p.dim,
+            fmt_num(p.reference, 4)
+        ));
+        for (j, c) in p.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{ \"engine\": \"{}\", \"success_rate\": {}, \"feasible_rate\": {}, \
+                 \"best_objective\": {}, \"mean_objective\": {}, \"mean_iters_to_best\": {}, \
+                 \"iterations\": {} }}{}\n",
+                c.engine,
+                fmt_num(c.success_rate, 4),
+                fmt_num(c.feasible_rate, 4),
+                fmt_num(c.best_objective, 4),
+                fmt_num(c.mean_objective, 4),
+                fmt_num(c.mean_iters_to_best, 1),
+                c.iterations,
+                if j + 1 < p.cells.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "    ] }}{}\n",
+            if i + 1 < result.problems.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"rankings\": [\n");
+    for (i, row) in result.rankings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"rank\": {}, \"engine\": \"{}\", \"problems\": {}, \
+             \"mean_success_rate\": {}, \"borda\": {}, \"best_count\": {}, \
+             \"worst_count\": {} }}{}\n",
+            i + 1,
+            row.engine,
+            row.problems,
+            fmt_num(row.mean_success_rate, 4),
+            row.borda,
+            row.best_count,
+            row.worst_count,
+            if i + 1 < result.rankings.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::validate_study_json;
+
+    #[test]
+    fn tiny_study_runs_and_renders_valid_json() {
+        let recipe = StudyRecipe::parse(
+            "study tiny\nseed 5\nreplicas 2\nsweeps 30\nengines software,hycim\n\
+             problem qkp sizes=8 density=50\nproblem maxcut sizes=6 density=50\n",
+        )
+        .unwrap();
+        let result = StudyRunner::new().with_threads(2).run(&recipe).unwrap();
+        assert_eq!(result.problems.len(), 2);
+        assert_eq!(result.cells(), 4);
+        assert_eq!(result.rankings.len(), 2);
+        assert!(result.total_iterations > 0);
+        assert!(result.wall_seconds > 0.0);
+        for p in &result.problems {
+            assert!(p.reference.is_finite(), "{}: reference folded", p.problem);
+            for c in &p.cells {
+                assert!((0.0..=1.0).contains(&c.success_rate));
+                assert!((0.0..=1.0).contains(&c.feasible_rate));
+            }
+        }
+        let doc = render_study_json(&result, &ReportMeta::unknown());
+        validate_study_json(&doc).expect("rendered document validates");
+        // Telemetry never leaks into the artifact.
+        assert!(!doc.contains("wall"));
+    }
+
+    #[test]
+    fn unknown_family_backend_combinations_surface_as_errors() {
+        // Every preset family maps onto every preset backend, so
+        // errors only come from construction failures; exercise the
+        // error path via a spin glass too small for the generator.
+        let recipe = StudyRecipe::parse(
+            "study t\nseed 1\nreplicas 1\nsweeps 5\nengines software\n\
+             problem spinglass sizes=2\n",
+        )
+        .unwrap();
+        // n=2 is valid for the generator; this must simply run.
+        assert!(StudyRunner::new().with_threads(1).run(&recipe).is_ok());
+    }
+
+    #[test]
+    fn iters_to_best_reads_the_trace() {
+        let recipe = StudyRecipe::parse(
+            "study t\nseed 2\nreplicas 2\nsweeps 40\nengines software\n\
+             problem qkp sizes=8 density=50\n",
+        )
+        .unwrap();
+        let result = StudyRunner::new().with_threads(1).run(&recipe).unwrap();
+        let cell = &result.problems[0].cells[0];
+        // The mean first-touch index is within the executed budget.
+        let per_replica = cell.iterations as f64 / recipe.replicas as f64;
+        assert!(cell.mean_iters_to_best >= 0.0);
+        assert!(cell.mean_iters_to_best <= per_replica + 1.0);
+    }
+}

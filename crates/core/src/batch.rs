@@ -29,6 +29,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use hycim_cop::CopProblem;
 
@@ -66,6 +67,19 @@ pub fn default_threads() -> usize {
                 .map(|n| n.get())
                 .unwrap_or(4)
         })
+}
+
+/// Per-cell execution telemetry from a [`BatchRunner`] fan-out.
+///
+/// Only `iterations` is deterministic; `wall_seconds` depends on the
+/// machine and scheduling, so report layers must keep it out of any
+/// artifact with a bit-identity guarantee (stdout is fine).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellTelemetry {
+    /// Wall-clock duration of this cell's solve, in seconds.
+    pub wall_seconds: f64,
+    /// Annealing iterations the solve executed (from the trace).
+    pub iterations: usize,
 }
 
 /// Multi-threaded, deterministic multi-start runner over a
@@ -122,6 +136,37 @@ impl BatchRunner {
         self.run_grid(std::slice::from_ref(engine), replicas, root_seed)
             .pop()
             .expect("one engine produces one row")
+    }
+
+    /// Like [`run`](Self::run), but pairs every solution with its
+    /// [`CellTelemetry`] — the hook the study harness uses to report
+    /// throughput without polluting the deterministic results. The
+    /// solutions are bit-identical to what `run` returns for the same
+    /// arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    pub fn run_telemetry<P, E>(
+        &self,
+        engine: &E,
+        replicas: usize,
+        root_seed: u64,
+    ) -> Vec<(Solution<P>, CellTelemetry)>
+    where
+        P: CopProblem,
+        E: Engine<P>,
+    {
+        assert!(replicas > 0, "need at least one replica");
+        self.map_indexed(replicas, |k| {
+            let start = Instant::now();
+            let solution = engine.solve(replica_seed(root_seed, 0, k as u64));
+            let telemetry = CellTelemetry {
+                wall_seconds: start.elapsed().as_secs_f64(),
+                iterations: solution.trace.iterations(),
+            };
+            (solution, telemetry)
+        })
     }
 
     /// Runs the full grid: `replicas` solves of every engine, fanned
@@ -266,6 +311,26 @@ mod tests {
         let b = BatchRunner::new().with_threads(3).run(&engine, 3, 1);
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.assignment, y.assignment);
+        }
+    }
+
+    #[test]
+    fn telemetry_runs_match_plain_runs() {
+        let inst = QkpGenerator::new(15, 0.5).generate(7);
+        let engine = HyCimEngine::new(&inst, &HyCimConfig::default().with_sweeps(30), 7).unwrap();
+        let plain = BatchRunner::serial().run(&engine, 4, 13);
+        let with_tel = BatchRunner::new()
+            .with_threads(3)
+            .run_telemetry(&engine, 4, 13);
+        assert_eq!(plain.len(), with_tel.len());
+        for (p, (s, t)) in plain.iter().zip(&with_tel) {
+            assert_eq!(p.assignment, s.assignment);
+            assert_eq!(p.objective, s.objective);
+            // Telemetry is attached, not substituted: iterations come
+            // from the trace and the wall clock is non-negative.
+            assert_eq!(t.iterations, s.trace.iterations());
+            assert!(t.iterations > 0);
+            assert!(t.wall_seconds >= 0.0);
         }
     }
 

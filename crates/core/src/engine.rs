@@ -84,6 +84,25 @@ pub trait Engine<P: CopProblem>: Send + Sync {
     fn solve(&self, seed: u64) -> Solution<P>;
 }
 
+/// Boxed engines are engines: lets heterogeneous backends share one
+/// `Vec<Box<dyn Engine<P>>>` and still flow through [`BatchRunner`]
+/// fan-outs (the study harness builds its engine columns this way).
+///
+/// [`BatchRunner`]: crate::BatchRunner
+impl<P: CopProblem, E: Engine<P> + ?Sized> Engine<P> for Box<E> {
+    fn problem(&self) -> &P {
+        (**self).problem()
+    }
+
+    fn backend(&self) -> &'static str {
+        (**self).backend()
+    }
+
+    fn solve(&self, seed: u64) -> Solution<P> {
+        (**self).solve(seed)
+    }
+}
+
 /// The HyCiM engine: inequality-QUBO transformation + FeFET inequality
 /// filter + FeFET CiM crossbar + SA logic (paper Fig. 3), generic over
 /// the problem being encoded.

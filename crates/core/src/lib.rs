@@ -64,7 +64,7 @@ mod solution;
 pub mod success;
 pub mod table;
 
-pub use batch::{default_threads, replica_seed, BatchRunner};
+pub use batch::{default_threads, replica_seed, BatchRunner, CellTelemetry};
 pub use calibrate::{calibrate_t0, run_annealing};
 pub use config::{AnnealSettings, DquboConfig, HyCimConfig};
 pub use engine::{

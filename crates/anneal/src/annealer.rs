@@ -28,6 +28,83 @@ pub struct Annealer<S: Schedule> {
 /// `hycim-core` default to the same value.
 pub const DEFAULT_SWAP_PROBABILITY: f64 = 0.5;
 
+/// Below this value of `−Δ/T`, `exp` is dominated by every nonzero
+/// uniform draw: the RNG's `f64` samples are multiples of 2⁻⁵³
+/// (≈ 1.11e-16), and `exp(−37)` ≈ 8.5e-17 < 2⁻⁵³, so `u < exp(arg)`
+/// is false for every `u > 0`. Skipping `exp` there changes no
+/// decision.
+const EXP_DOMINATED: f64 = -37.0;
+
+/// Uphill moves with `Δ ≥ 37.5·T` are rejected by every nonzero
+/// uniform draw: `−Δ/T ≤ −37.5·(1 − 2⁻⁵²) < −37` even after the
+/// division's half-ulp rounding, so the comparison against
+/// [`EXP_DOMINATED`] is provably lost before any randomness is
+/// consumed. The 0.5 margin over `−EXP_DOMINATED` absorbs the
+/// rounding.
+pub(crate) const DRAW_DOMINATED: f64 = 37.5;
+
+/// The shared Metropolis acceptance test: accept downhill moves
+/// unconditionally, uphill moves with probability `exp(−Δ/T)` — drawn
+/// against one uniform sample consumed *only* for uphill moves at
+/// positive temperature. The production loops in this crate (the
+/// [`Annealer`] and scalar parallel tempering) funnel through this
+/// function; the sweep-synchronous loops share
+/// [`metropolis_accept_sweep`] instead. Within each pair the accept
+/// decisions — and the RNG stream consumption — stay comparable
+/// move-for-move.
+///
+/// The result is *exactly* `u < exp(−Δ/T)` for the drawn `u`: the
+/// `EXP_DOMINATED` shortcut only skips `exp` where the comparison is
+/// provably false (see the constant), and a `u == 0.0` draw accepts
+/// iff `exp` has not underflowed to zero.
+#[inline]
+pub fn metropolis_accept(delta: f64, temperature: f64, rng: &mut StdRng) -> bool {
+    if delta <= 0.0 {
+        return true;
+    }
+    if temperature <= 0.0 {
+        return false;
+    }
+    let u = rng.random::<f64>();
+    let arg = -delta / temperature;
+    if u == 0.0 {
+        return arg.exp() > 0.0;
+    }
+    arg > EXP_DOMINATED && u < arg.exp()
+}
+
+/// The *sweep-reference* Metropolis test: the same acceptance rule as
+/// [`metropolis_accept`], except that a deterministically-rejected
+/// uphill move — `Δ ≥ 37.5·T`, where the acceptance probability is
+/// smaller than every representable nonzero uniform sample (see
+/// `DRAW_DOMINATED`) — is rejected *without consuming a draw*. In
+/// the cold tail of an anneal nearly every proposal is in this
+/// regime, so skipping the futile draws is the packed sweep's single
+/// biggest saving; the RNG stream diverges from [`metropolis_accept`]
+/// after the first skip, which is why this is a separate function.
+///
+/// Both sides of the packed bit-identity law — the packed 64-lane
+/// sweep and the scalar sweep reference
+/// ([`run_replica_scalar`](crate::run_replica_scalar)) — funnel
+/// through this test, so lane `k`'s decisions and draw consumption
+/// stay aligned move-for-move. The production [`Annealer`] keeps the
+/// always-draw [`metropolis_accept`].
+#[inline]
+pub fn metropolis_accept_sweep(delta: f64, temperature: f64, rng: &mut StdRng) -> bool {
+    if delta <= 0.0 {
+        return true;
+    }
+    if temperature <= 0.0 || delta >= DRAW_DOMINATED * temperature {
+        return false;
+    }
+    let u = rng.random::<f64>();
+    let arg = -delta / temperature;
+    if u == 0.0 {
+        return arg.exp() > 0.0;
+    }
+    arg > EXP_DOMINATED && u < arg.exp()
+}
+
 impl<S: Schedule> Annealer<S> {
     /// Creates an annealer running `iterations` iterations under
     /// `schedule`, recording the full energy trace. By default
@@ -112,10 +189,7 @@ impl<S: Schedule> Annealer<S> {
                     trace.count_infeasible();
                 }
                 FlipOutcome::Feasible { delta } => {
-                    let accept = delta <= 0.0
-                        || (temperature > 0.0
-                            && rng.random::<f64>() < (-delta / temperature).exp());
-                    if accept {
+                    if metropolis_accept(delta, temperature, rng) {
                         match bits {
                             (i, Some(j)) => state.commit_pair(i, j, delta),
                             (i, None) => state.commit_flip(i, delta),

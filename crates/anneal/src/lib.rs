@@ -22,9 +22,21 @@
 //! * [`ensemble`] — multi-start ensembles over independent seeds (the
 //!   paper's Monte-Carlo protocol draws 1000 initial states per
 //!   instance, Sec 4.3).
-//! * [`tempering`] — parallel tempering / replica exchange, an
-//!   algorithmic extension beyond the paper's plain SA for the harder
-//!   instances.
+//! * [`packed`] — bit-parallel 64-replica annealing over `u64` spin
+//!   bitplanes ([`PackedSoftwareState`]): one CSR sweep advances all
+//!   64 lanes, bit-identically to 64 scalar sweep-reference runs
+//!   ([`run_replica_scalar`]) on per-lane RNG streams.
+//! * [`tempering`] — parallel tempering / replica exchange: the
+//!   generic scalar [`tempering::run_tempering`] plus the packed-lane
+//!   [`tempering::run_packed_tempering`] (temperature ladder across
+//!   the 64 lanes, deterministic even/odd swap sweeps).
+//!
+//! Every accept decision in the crate goes through a shared
+//! Metropolis test: production loops use [`metropolis_accept`], and
+//! both sides of the packed-vs-scalar bit-identity laws use
+//! [`metropolis_accept_sweep`], which additionally skips the uniform
+//! draw for uphill moves that every draw would reject — so packed
+//! and scalar sweeps keep the same RNG cadence by construction.
 //!
 //! # Example
 //!
@@ -53,12 +65,20 @@
 
 mod annealer;
 pub mod ensemble;
+pub mod packed;
 mod schedule;
 mod state;
 pub mod tempering;
 mod trace;
 
-pub use annealer::{Annealer, DEFAULT_SWAP_PROBABILITY};
+pub use annealer::{
+    metropolis_accept, metropolis_accept_sweep, Annealer, DEFAULT_SWAP_PROBABILITY,
+};
+pub use packed::{
+    run_packed_sweeps, run_replica_scalar, PackedRunOutcome, PackedSoftwareState, ReplicaOutcome,
+    SweepSchedule,
+};
 pub use schedule::{ConstantSchedule, GeometricSchedule, LinearSchedule, Schedule};
 pub use state::{AnnealState, FlipOutcome, PenaltyState, SoftwareState};
+pub use tempering::{run_packed_tempering, PackedTemperingConfig, PackedTemperingResult};
 pub use trace::AnnealTrace;

@@ -46,6 +46,27 @@ impl AnnealTrace {
         }
     }
 
+    /// Builds a finished trace from an already-run loop's outcome —
+    /// the adapter for drivers that keep their own counters (the
+    /// bit-parallel packed engine aggregates 64 lanes into one trace).
+    /// No per-iteration energies are recorded.
+    pub fn from_counts(
+        best_energy: f64,
+        best_assignment: Assignment,
+        accepted: usize,
+        rejected_metropolis: usize,
+        rejected_infeasible: usize,
+    ) -> Self {
+        Self {
+            energies: Vec::new(),
+            best_energy,
+            best_assignment,
+            accepted,
+            rejected_metropolis,
+            rejected_infeasible,
+        }
+    }
+
     pub(crate) fn record_iteration(&mut self, energy: f64, record: bool) {
         if record {
             self.energies.push(energy);

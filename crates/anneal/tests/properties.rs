@@ -146,3 +146,68 @@ proptest! {
         prop_assert_eq!(local.assignment(), dense.assignment());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The run-level packed bit-identity law: a 64-lane packed sweep
+    /// run over a max-cut or spin-glass instance equals 64 independent
+    /// scalar `LocalFieldState` sweep runs — same best energies, best
+    /// assignments, final energies, and aggregate move counts — when
+    /// lane `k` consumes the RNG stream seeded for replica `k`.
+    #[test]
+    fn packed_run_bit_identical_to_scalar_replicas(
+        seed in any::<u64>(),
+        n in 8usize..40,
+        family in 0usize..2,
+        sweeps in 2usize..12,
+    ) {
+        use hycim_anneal::{run_packed_sweeps, run_replica_scalar, SweepSchedule};
+        use hycim_cop::maxcut::MaxCut;
+        use hycim_cop::spinglass::SpinGlass;
+        use hycim_cop::CopProblem;
+        use hycim_qubo::LANES;
+
+        let iq = if family == 0 {
+            CopProblem::to_inequality_qubo(&MaxCut::random(n, 0.2, seed)).expect("encodes")
+        } else {
+            CopProblem::to_inequality_qubo(&SpinGlass::random_binary(n.max(2), seed).expect("n >= 2"))
+                .expect("encodes")
+        };
+        let lane_seed = |k: usize| seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(k as u64);
+        let mut rngs: Vec<StdRng> =
+            (0..LANES).map(|k| StdRng::seed_from_u64(lane_seed(k))).collect();
+        let initials: Vec<Assignment> = rngs
+            .iter_mut()
+            .map(|rng| CopProblem::initial(&iq, rng))
+            .collect();
+        let schedule = SweepSchedule::cooling_to(40.0, 0.02, sweeps);
+
+        let packed = run_packed_sweeps(&iq, &initials, sweeps, &schedule, &mut rngs);
+
+        let (mut acc, mut rej, mut inf) = (0u64, 0u64, 0u64);
+        for (k, initial) in initials.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(lane_seed(k));
+            let _ = CopProblem::initial(&iq, &mut rng); // advance past the initial draw
+            let scalar = run_replica_scalar(&iq, initial.clone(), sweeps, &schedule, &mut rng);
+            prop_assert_eq!(
+                packed.best_energies[k].to_bits(),
+                scalar.best_energy.to_bits(),
+                "lane {} best energy", k
+            );
+            prop_assert_eq!(
+                &packed.best_assignments[k], &scalar.best_assignment,
+                "lane {} best assignment", k
+            );
+            prop_assert_eq!(
+                packed.final_energies[k].to_bits(),
+                scalar.final_energy.to_bits(),
+                "lane {} final energy", k
+            );
+            acc += scalar.accepted;
+            rej += scalar.rejected;
+            inf += scalar.infeasible;
+        }
+        prop_assert_eq!((packed.accepted, packed.rejected, packed.infeasible), (acc, rej, inf));
+    }
+}

@@ -2,7 +2,10 @@
 //! the fresh cells against the committed `BENCH_study.json` within
 //! tolerance bands; quality regressions fail (exit 1), improvements
 //! and throughput drift warn. Also validates `BENCH_hotpath.json`
-//! (schema v1 or v2) and re-times its smallest probe cells.
+//! (schema v1, v2, or v3) and re-times its smallest probe cells —
+//! both the scalar local-field rows and, on v3 artifacts, the packed
+//! 64-lane replica rows (warn-only drift; a lane diverging from its
+//! scalar `replica_seed` twin fails).
 //!
 //! ```text
 //! cargo run --release -p hycim-bench --bin bench_gate
@@ -19,7 +22,9 @@
 
 use std::process::ExitCode;
 
-use hycim_bench::gate::{diff_study_cells, throughput_drift, GateReport, GateTolerances};
+use hycim_bench::gate::{
+    diff_study_cells, replica_throughput_drift, throughput_drift, GateReport, GateTolerances,
+};
 use hycim_bench::{
     default_threads, parse_study_cells, validate_hotpath_json, validate_study_json, Args,
     StudyRecipe, StudyRunner,
@@ -98,6 +103,7 @@ fn main() -> ExitCode {
                 report.failures.push(format!("{hotpath_path}: {e}"));
             } else if !args.has_flag("skip-throughput") {
                 report.merge(throughput_drift(&doc, &tol));
+                report.merge(replica_throughput_drift(&doc, &tol));
             }
         }
     }

@@ -11,9 +11,14 @@
 
 use std::env;
 
-/// Current schema tag of `BENCH_hotpath.json` (v2 = v1 plus the
-/// required `meta` provenance block).
-pub const HOTPATH_SCHEMA: &str = "hycim-hotpath/v2";
+/// Current schema tag of `BENCH_hotpath.json` (v3 = v2 plus the
+/// required `replica_rows` packed-vs-scalar throughput block).
+pub const HOTPATH_SCHEMA: &str = "hycim-hotpath/v3";
+
+/// The pre-replica-rows hotpath schema tag (v1 plus the required
+/// `meta` provenance block), still accepted by the validator and
+/// tolerated by the gate.
+pub const HOTPATH_SCHEMA_V2: &str = "hycim-hotpath/v2";
 
 /// The pre-provenance hotpath schema tag, still accepted by the
 /// validator and tolerated by the gate.
@@ -33,6 +38,19 @@ pub const HOTPATH_ROW_KEYS: [&str; 9] = [
     "dense_iters_per_sec",
     "local_iters_per_sec",
     "speedup",
+];
+
+/// Keys every replica row of a v3 hotpath report must carry.
+pub const HOTPATH_REPLICA_ROW_KEYS: [&str; 9] = [
+    "lanes",
+    "family",
+    "n",
+    "nnz",
+    "avg_degree",
+    "sweeps",
+    "scalar_iters_per_sec",
+    "packed_iters_per_sec",
+    "replica_speedup",
 ];
 
 /// Keys every cell of a study report must carry.
@@ -236,15 +254,15 @@ fn rate_field(fragment: &str, key: &str, label: &str) -> Result<f64, String> {
 /// Returns a human-readable description of the first violation.
 pub fn validate_hotpath_json(doc: &str) -> Result<(), String> {
     structural_checks(doc)?;
-    let tag = schema_check(doc, &[HOTPATH_SCHEMA, HOTPATH_SCHEMA_V1])?;
-    if tag == HOTPATH_SCHEMA {
+    let tag = schema_check(doc, &[HOTPATH_SCHEMA, HOTPATH_SCHEMA_V2, HOTPATH_SCHEMA_V1])?;
+    if tag != HOTPATH_SCHEMA_V1 {
         meta_check(doc)?;
     }
-    let rows = rows(doc, "{ \"family\":");
-    if rows.is_empty() {
+    let rows_found = rows(doc, "{ \"family\":");
+    if rows_found.is_empty() {
         return Err("no rows found".into());
     }
-    for (idx, row) in rows.iter().enumerate() {
+    for (idx, row) in rows_found.iter().enumerate() {
         let row = format!("\"family\":{row}");
         for key in HOTPATH_ROW_KEYS {
             if !row.contains(&format!("\"{key}\":")) {
@@ -255,6 +273,32 @@ pub fn validate_hotpath_json(doc: &str) -> Result<(), String> {
             let parsed = number_field(&row, key).map_err(|e| format!("row {idx}: {e}"))?;
             if parsed <= 0.0 {
                 return Err(format!("row {idx}: {key} = {parsed} is not positive"));
+            }
+        }
+    }
+    if tag == HOTPATH_SCHEMA {
+        if !doc.contains("\"replica_rows\":") {
+            return Err("v3 document missing \"replica_rows\" block".into());
+        }
+        for (idx, row) in rows(doc, "{ \"lanes\":").iter().enumerate() {
+            let row = format!("\"lanes\":{row}");
+            for key in HOTPATH_REPLICA_ROW_KEYS {
+                if !row.contains(&format!("\"{key}\":")) {
+                    return Err(format!("replica row {idx} missing key {key:?}"));
+                }
+            }
+            for key in [
+                "scalar_iters_per_sec",
+                "packed_iters_per_sec",
+                "replica_speedup",
+            ] {
+                let parsed =
+                    number_field(&row, key).map_err(|e| format!("replica row {idx}: {e}"))?;
+                if parsed <= 0.0 {
+                    return Err(format!(
+                        "replica row {idx}: {key} = {parsed} is not positive"
+                    ));
+                }
             }
         }
     }
@@ -383,6 +427,31 @@ pub fn parse_hotpath_rows(doc: &str) -> Result<Vec<(String, usize, f64)>, String
     Ok(out)
 }
 
+/// Extracts `(family, n, sweeps, packed_iters_per_sec)` from every
+/// replica row of a hotpath document — the committed side of the
+/// replica-throughput drift check. The `sweeps` field lets the drift
+/// probe replay the committed row's own run length (throughput is
+/// sweep-count dependent: longer runs amortize setup and spend more
+/// time in the draw-free cold tail). Pre-v3 documents simply yield an
+/// empty list (no replica rows to drift against).
+///
+/// # Errors
+///
+/// Returns a description of the first replica row that cannot be
+/// extracted.
+pub fn parse_replica_rows(doc: &str) -> Result<Vec<(String, usize, usize, f64)>, String> {
+    let mut out = Vec::new();
+    for fragment in rows(doc, "{ \"lanes\":") {
+        let fragment = format!("\"lanes\":{fragment}");
+        let family = string_field(&fragment, "family")?;
+        let n = number_field(&fragment, "n")? as usize;
+        let sweeps = number_field(&fragment, "sweeps")? as usize;
+        let ips = number_field(&fragment, "packed_iters_per_sec")?;
+        out.push((family, n, sweeps, ips));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,10 +464,23 @@ mod tests {
          \"nnz\": 10, \"avg_degree\": 2.0, \"iterations\": 100, \"dense_iters_per_sec\": 1e6, \
          \"local_iters_per_sec\": 9e6, \"speedup\": 9.0, \"bit_identical\": true }\n";
 
+    const GOOD_REPLICA_ROW: &str = "    { \"lanes\": 64, \"family\": \"maxcut\", \"n\": 256, \
+         \"nnz\": 10, \"avg_degree\": 2.0, \"sweeps\": 60, \"scalar_iters_per_sec\": 8e6, \
+         \"packed_iters_per_sec\": 1.2e8, \"replica_speedup\": 15.0, \"bit_identical\": true }\n";
+
+    fn v3_doc(rows: &str, replica_rows: &str) -> String {
+        format!(
+            "{{\n  \"schema\": \"{HOTPATH_SCHEMA}\",\n  {},\n  \"rows\": [\n{rows}  ],\n  \
+             \"replica_rows\": [\n{replica_rows}  ]\n}}\n",
+            ReportMeta::unknown().render()
+        )
+    }
+
     #[test]
-    fn hotpath_validator_accepts_v2_with_meta_and_legacy_v1() {
+    fn hotpath_validator_accepts_v3_v2_and_legacy_v1() {
         let meta = format!("  {},\n", ReportMeta::unknown().render());
-        validate_hotpath_json(&hotpath_doc(HOTPATH_SCHEMA, &meta, GOOD_ROW)).expect("v2");
+        validate_hotpath_json(&v3_doc(GOOD_ROW, GOOD_REPLICA_ROW)).expect("v3");
+        validate_hotpath_json(&hotpath_doc(HOTPATH_SCHEMA_V2, &meta, GOOD_ROW)).expect("v2");
         validate_hotpath_json(&hotpath_doc(HOTPATH_SCHEMA_V1, "", GOOD_ROW)).expect("v1");
     }
 
@@ -406,7 +488,7 @@ mod tests {
     fn hotpath_validator_rejects_malformed() {
         assert!(validate_hotpath_json("[]").is_err());
         assert!(validate_hotpath_json("{}").is_err(), "missing schema");
-        let v2_no_meta = hotpath_doc(HOTPATH_SCHEMA, "", GOOD_ROW);
+        let v2_no_meta = hotpath_doc(HOTPATH_SCHEMA_V2, "", GOOD_ROW);
         assert!(
             validate_hotpath_json(&v2_no_meta)
                 .unwrap_err()
@@ -420,6 +502,40 @@ mod tests {
             validate_hotpath_json(&hotpath_doc(HOTPATH_SCHEMA_V1, "", &bad)).is_err(),
             "negative speedup"
         );
+    }
+
+    #[test]
+    fn v3_validator_checks_the_replica_block() {
+        // v3 without any replica_rows key is rejected...
+        let meta = format!("  {},\n", ReportMeta::unknown().render());
+        let missing = hotpath_doc(HOTPATH_SCHEMA, &meta, GOOD_ROW);
+        assert!(validate_hotpath_json(&missing)
+            .unwrap_err()
+            .contains("replica_rows"));
+        // ...a present-but-empty block is fine...
+        validate_hotpath_json(&v3_doc(GOOD_ROW, "")).expect("empty replica block");
+        // ...and malformed replica rows are named.
+        let bad_key = GOOD_REPLICA_ROW.replace("\"sweeps\"", "\"swps\"");
+        assert!(validate_hotpath_json(&v3_doc(GOOD_ROW, &bad_key))
+            .unwrap_err()
+            .contains("sweeps"));
+        let bad_ips = GOOD_REPLICA_ROW.replace(
+            "\"packed_iters_per_sec\": 1.2e8",
+            "\"packed_iters_per_sec\": 0.0",
+        );
+        assert!(validate_hotpath_json(&v3_doc(GOOD_ROW, &bad_ips))
+            .unwrap_err()
+            .contains("not positive"));
+    }
+
+    #[test]
+    fn replica_rows_extract_and_tolerate_their_absence() {
+        let rows = parse_replica_rows(&v3_doc(GOOD_ROW, GOOD_REPLICA_ROW)).expect("extracts");
+        assert_eq!(rows, vec![("maxcut".to_string(), 256, 60, 1.2e8)]);
+        // Pre-v3 documents have no replica rows — the parser returns
+        // an empty list rather than an error.
+        let v1 = hotpath_doc(HOTPATH_SCHEMA_V1, "", GOOD_ROW);
+        assert_eq!(parse_replica_rows(&v1).expect("tolerated"), vec![]);
     }
 
     fn study_doc(cell: &str) -> String {

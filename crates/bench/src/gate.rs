@@ -15,10 +15,15 @@
 //!   regeneration instead of failing.
 //! * **Throughput drifts warn.** Wall-clock depends on the machine, so
 //!   the hotpath probe only warns when local throughput falls below
-//!   `throughput_ratio` × the committed iterations/second.
+//!   `throughput_ratio` × the committed iterations/second. The same
+//!   warn-only policy covers the v3 replica rows
+//!   ([`replica_throughput_drift`]): packed replica throughput drifting
+//!   below the ratio is advisory. The one replica check that *does*
+//!   fail is bit-identity — a packed lane diverging from its scalar
+//!   `replica_seed` twin is a correctness break, not machine noise.
 
-use crate::check::{parse_hotpath_rows, CommittedCell};
-use crate::hotpath::family_row;
+use crate::check::{parse_hotpath_rows, parse_replica_rows, CommittedCell};
+use crate::hotpath::{family_row, replica_family_row};
 use crate::stats::CellSummary;
 
 /// Tolerance bands of the gate comparison.
@@ -183,6 +188,56 @@ pub fn throughput_drift(committed_hotpath: &str, tol: &GateTolerances) -> GateRe
     report
 }
 
+/// Re-times one small packed-vs-scalar replica cell per committed
+/// replica-row family and warns when the packed replica throughput
+/// drifted below the tolerance ratio. **Warn-only by design**: replica
+/// throughput is as machine-dependent as the scalar hotpath numbers,
+/// so like [`throughput_drift`] this check never contributes a
+/// failure — a pre-v3 artifact (no replica rows) or even an
+/// unextractable replica block only produces advisories.
+pub fn replica_throughput_drift(committed_hotpath: &str, tol: &GateTolerances) -> GateReport {
+    let mut report = GateReport::default();
+    let rows = match parse_replica_rows(committed_hotpath) {
+        Ok(rows) => rows,
+        Err(e) => {
+            report.warnings.push(format!(
+                "committed replica rows unreadable ({e}); skipping drift probe"
+            ));
+            return report;
+        }
+    };
+    for family in ["maxcut", "spinglass"] {
+        let Some((_, n, sweeps, committed_ips)) = rows
+            .iter()
+            .filter(|(f, _, _, _)| f == family)
+            .min_by_key(|(_, n, _, _)| *n)
+            .cloned()
+        else {
+            continue;
+        };
+        // Replay the committed row's own sweep count: packed
+        // throughput rises with run length (setup amortization, the
+        // draw-free cold tail), so a shorter probe would chronically
+        // under-read the committed number.
+        let fresh = replica_family_row(family, n, sweeps, 1, 0.05, 0.25);
+        if fresh.packed_ips < tol.throughput_ratio * committed_ips {
+            report.warnings.push(format!(
+                "{family} n={n}: packed replica throughput {:.0} it/s below {:.0}% of \
+                 committed {:.0} (machine-dependent; advisory only)",
+                fresh.packed_ips,
+                100.0 * tol.throughput_ratio,
+                committed_ips
+            ));
+        }
+        if !fresh.bit_identical {
+            report.failures.push(format!(
+                "{family} n={n}: packed lanes diverged from their scalar replica_seed twins"
+            ));
+        }
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +346,51 @@ mod tests {
             ..base[0].clone()
         }];
         assert!(diff_study_cells(&base_null, &run, &GateTolerances::default()).passed());
+    }
+
+    fn v3_doc_with_replica_ips(ips: &str) -> String {
+        format!(
+            "{{\n  \"schema\": \"hycim-hotpath/v3\",\n  \"meta\": {{ \"generated\": \"unknown\", \
+             \"git\": \"unknown\" }},\n  \"rows\": [\n    {{ \"family\": \"maxcut\", \"state\": \
+             \"software\", \"n\": 16, \"nnz\": 10, \"avg_degree\": 2.0, \"iterations\": 100, \
+             \"dense_iters_per_sec\": 1e6, \"local_iters_per_sec\": 9e6, \"speedup\": 9.0, \
+             \"bit_identical\": true }}\n  ],\n  \"replica_rows\": [\n    {{ \"lanes\": 64, \
+             \"family\": \"maxcut\", \"n\": 16, \"nnz\": 10, \"avg_degree\": 2.0, \"sweeps\": 30, \
+             \"scalar_iters_per_sec\": 8e6, \"packed_iters_per_sec\": {ips}, \
+             \"replica_speedup\": 15.0, \"bit_identical\": true }}\n  ]\n}}\n"
+        )
+    }
+
+    #[test]
+    fn doctored_replica_throughput_warns_but_never_fails() {
+        // The CI doctoring scenario: a committed packed throughput
+        // inflated far beyond what any machine reaches. The drift is
+        // advisory — warnings, zero failures.
+        let doctored = v3_doc_with_replica_ips("1e15");
+        let report = replica_throughput_drift(&doctored, &GateTolerances::default());
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.warnings.len(), 1, "{:?}", report.warnings);
+        assert!(report.warnings[0].contains("packed replica throughput"));
+        assert!(report.warnings[0].contains("advisory only"));
+    }
+
+    #[test]
+    fn honest_replica_throughput_passes_silently() {
+        // A committed value low enough that any machine beats it.
+        let honest = v3_doc_with_replica_ips("1.0");
+        let report = replica_throughput_drift(&honest, &GateTolerances::default());
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn pre_v3_artifacts_skip_the_replica_probe() {
+        let v2 = "{\n  \"schema\": \"hycim-hotpath/v2\",\n  \"meta\": { \"generated\": \
+                  \"unknown\", \"git\": \"unknown\" },\n  \"rows\": [\n    { \"family\": \
+                  \"maxcut\", \"n\": 64, \"local_iters_per_sec\": 9e6 }\n  ]\n}\n";
+        let report = replica_throughput_drift(v2, &GateTolerances::default());
+        assert!(report.passed());
+        assert!(report.warnings.is_empty());
     }
 
     #[test]

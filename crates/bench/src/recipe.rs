@@ -42,15 +42,18 @@ pub enum EngineKind {
     Bank,
     /// Penalty-encoding D-QUBO baseline (`DquboEngine`).
     Dqubo,
+    /// Bit-parallel 64-lane software engine (`PackedEngine`).
+    Packed,
 }
 
 impl EngineKind {
     /// All engine kinds, in canonical order.
-    pub const ALL: [EngineKind; 4] = [
+    pub const ALL: [EngineKind; 5] = [
         EngineKind::Software,
         EngineKind::HyCim,
         EngineKind::Bank,
         EngineKind::Dqubo,
+        EngineKind::Packed,
     ];
 
     /// The recipe/JSON tag of this backend.
@@ -60,6 +63,7 @@ impl EngineKind {
             EngineKind::HyCim => "hycim",
             EngineKind::Bank => "bank",
             EngineKind::Dqubo => "dqubo",
+            EngineKind::Packed => "packed",
         }
     }
 
@@ -340,7 +344,7 @@ impl StudyRecipe {
                                 lineno,
                                 format!(
                                     "unknown engine {tag:?} (expected one of \
-                                     software, hycim, bank, dqubo)"
+                                     software, hycim, bank, dqubo, packed)"
                                 ),
                             );
                         };

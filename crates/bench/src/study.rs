@@ -25,7 +25,7 @@ use hycim_cop::tsp::Tsp;
 use hycim_cop::CopProblem;
 use hycim_core::{
     BankEngine, BatchRunner, DquboConfig, DquboEngine, Engine, HyCimConfig, HyCimEngine,
-    SoftwareEngine,
+    PackedConfig, PackedEngine, SoftwareEngine,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -188,6 +188,12 @@ fn build_engine<P: CopProblem + 'static>(
             let mut dq = DquboConfig::default().with_sweeps(recipe.sweeps);
             dq.record_trace = true;
             Box::new(DquboEngine::new(problem, &dq).map_err(fail)?)
+        }
+        EngineKind::Packed => {
+            // 64 bitplane lanes per solve; counts-only trace (the
+            // iters-to-best proxy reads 0 on its empty energy curve).
+            let packed = PackedConfig::paper().with_sweeps(recipe.sweeps);
+            Box::new(PackedEngine::new(problem, &packed).map_err(fail)?)
         }
     })
 }

@@ -24,6 +24,10 @@
 //! * [`DquboEngine`] — the baseline **D-QUBO** pipeline (Fig. 1(b)):
 //!   penalty encoding on a much larger crossbar, no filter.
 //! * [`SoftwareEngine`] — a noise-free software reference.
+//! * [`PackedEngine`] — the bit-parallel software engine: 64 replicas
+//!   per solve in `u64` spin bitplanes (independent lanes or parallel
+//!   tempering), each lane bit-identical to a scalar run under the
+//!   [`replica_seed`] contract.
 //! * [`BatchRunner`] — deterministic multi-threaded multi-start
 //!   evaluation over a replica × problem grid.
 //!
@@ -60,6 +64,7 @@ mod config;
 mod engine;
 mod error;
 mod hardware;
+mod packed_engine;
 mod solution;
 pub mod success;
 pub mod table;
@@ -73,4 +78,5 @@ pub use engine::{
 };
 pub use error::HycimError;
 pub use hardware::{BankHardwareState, DquboHardwareState, HyCimHardwareState};
+pub use packed_engine::{PackedConfig, PackedEngine, PackedMode};
 pub use solution::Solution;

@@ -268,3 +268,106 @@ fn batch_runner_covers_the_matrix_deterministically() {
         assert_eq!(s.objective, p.objective);
     }
 }
+
+mod packed_bit_identity {
+    //! The engine-level bit-identity law of the packed engine: lane
+    //! `k` of `PackedEngine::solve(seed)` is exactly the scalar
+    //! sweep-reference replica seeded with `replica_seed(seed, 0, k)`.
+
+    use super::*;
+    use hycim_anneal::{run_replica_scalar, PackedSoftwareState};
+    use hycim_core::{replica_seed, PackedConfig, PackedEngine};
+    use hycim_qubo::LANES;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_lanes_match_scalar<P: CopProblem>(problem: &P, sweeps: usize, seed: u64) {
+        let config = PackedConfig::paper().with_sweeps(sweeps);
+        let engine = PackedEngine::new(problem, &config).expect("encodable");
+        let packed = engine.lane_outcomes(seed);
+
+        // Reconstruct the deterministic schedule from the initials the
+        // lane streams draw (the T₀ probe is RNG-free by contract).
+        let iq = problem.to_inequality_qubo().expect("encodable");
+        let mut streams: Vec<StdRng> = (0..LANES as u64)
+            .map(|k| StdRng::seed_from_u64(replica_seed(seed, 0, k)))
+            .collect();
+        let initials: Vec<_> = streams.iter_mut().map(|rng| problem.initial(rng)).collect();
+        let state = PackedSoftwareState::new(&iq, &initials);
+        let schedule = engine.schedule_for(&state);
+
+        let (mut accepted, mut rejected, mut infeasible) = (0u64, 0u64, 0u64);
+        for (k, rng) in streams.iter_mut().enumerate() {
+            // The stream continues where the initial draw left it —
+            // exactly what the packed lane consumed.
+            let scalar = run_replica_scalar(&iq, initials[k].clone(), sweeps, &schedule, rng);
+            assert_eq!(
+                packed.best_energies[k].to_bits(),
+                scalar.best_energy.to_bits(),
+                "lane {k} best energy diverged"
+            );
+            assert_eq!(
+                packed.best_assignments[k], scalar.best_assignment,
+                "lane {k} best assignment diverged"
+            );
+            assert_eq!(
+                packed.final_energies[k].to_bits(),
+                scalar.final_energy.to_bits(),
+                "lane {k} final energy diverged"
+            );
+            accepted += scalar.accepted;
+            rejected += scalar.rejected;
+            infeasible += scalar.infeasible;
+        }
+        assert_eq!(
+            (packed.accepted, packed.rejected, packed.infeasible),
+            (accepted, rejected, infeasible),
+            "aggregate counts diverged"
+        );
+
+        // And the engine's Solution reports the best of those lanes.
+        let solution = engine.solve(seed);
+        let k = packed.best_lane();
+        assert_eq!(
+            solution.reported_energy.to_bits(),
+            packed.best_energies[k].to_bits()
+        );
+        assert_eq!(solution.assignment, packed.best_assignments[k]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// 64 packed lanes == 64 scalar replicas, bit for bit, under
+        /// the `replica_seed` stream contract (max-cut).
+        #[test]
+        fn packed_engine_lanes_equal_scalar_replicas_maxcut(
+            n in 12usize..40,
+            density in 0.1f64..0.5,
+            instance_seed in 0u64..1000,
+            solve_seed in 0u64..1000,
+        ) {
+            let g = MaxCut::random(n, density, instance_seed);
+            check_lanes_match_scalar(&g, 12, solve_seed);
+        }
+
+        /// The same law on spin glasses (signed couplings).
+        #[test]
+        fn packed_engine_lanes_equal_scalar_replicas_spinglass(
+            n in 10usize..30,
+            instance_seed in 0u64..1000,
+            solve_seed in 0u64..1000,
+        ) {
+            let sg = SpinGlass::random_binary(n, instance_seed).unwrap();
+            check_lanes_match_scalar(&sg, 10, solve_seed);
+        }
+    }
+
+    #[test]
+    fn packed_engine_covers_the_qkp_matrix() {
+        use hycim_cop::generator::QkpGenerator;
+        let inst = QkpGenerator::new(20, 0.5).generate(1);
+        check_lanes_match_scalar(&inst, 25, 7);
+    }
+}

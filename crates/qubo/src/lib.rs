@@ -9,6 +9,11 @@
 //!   `h_i = Q_ii + Σ Q_ij·x_j` over CSR neighbor lists: O(1) flip
 //!   probes and O(deg(i)) commits, the hot-path backend of every
 //!   annealing state (see [`local_field`]).
+//! * [`PackedReplicaState`] — 64 replicas bit-packed into `u64` spin
+//!   bitplanes per variable with per-lane maintained fields, so one
+//!   CSR sweep advances all [`LANES`] replicas word-parallel (see
+//!   [`packed`]); lane `k` stays bit-identical to an independent
+//!   scalar [`LocalFieldState`] replica.
 //! * [`IsingModel`] — the equivalent spin model (paper Eq. 1) and the
 //!   exact conversions between the two forms.
 //! * [`LinearConstraint`] — an inequality constraint `Σ wᵢxᵢ ≤ C`
@@ -58,6 +63,7 @@ mod ising;
 pub mod local_field;
 mod matrix;
 mod multi;
+pub mod packed;
 pub mod quant;
 
 pub use assignment::Assignment;
@@ -65,6 +71,7 @@ pub use constraint::LinearConstraint;
 pub use error::QuboError;
 pub use inequality::InequalityQubo;
 pub use ising::IsingModel;
-pub use local_field::{DeltaEngine, LocalFieldState};
+pub use local_field::{CsrNeighbors, DeltaEngine, LocalFieldState};
 pub use matrix::QuboMatrix;
 pub use multi::MultiInequalityQubo;
+pub use packed::{PackedReplicaState, LANES};

@@ -30,6 +30,86 @@
 
 use crate::{Assignment, QuboMatrix};
 
+/// CSR-style symmetric neighbor lists of a QUBO matrix: the diagonal
+/// plus, per row, the off-diagonal structural nonzeros in ascending
+/// column order. Built once from the triangular matrix and shared by
+/// [`LocalFieldState`] (one replica) and
+/// [`PackedReplicaState`](crate::PackedReplicaState) (64 bit-packed
+/// replicas), so both walk *exactly* the same couplings in the same
+/// order — the property the packed-vs-scalar bit-identity laws rest
+/// on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrNeighbors {
+    /// Diagonal (linear) coefficients `Q_ii`.
+    pub diag: Vec<f64>,
+    /// Row offsets into `idx`/`val`; length `n + 1`.
+    pub offsets: Vec<usize>,
+    /// Column indices of each row's off-diagonal nonzeros, ascending.
+    pub idx: Vec<usize>,
+    /// Coupling `Q_ij` for the matching entry of `idx`.
+    pub val: Vec<f64>,
+}
+
+impl CsrNeighbors {
+    /// Builds the neighbor lists from the triangular matrix. O(n + nnz).
+    pub fn build(q: &QuboMatrix) -> Self {
+        let n = q.dim();
+        let mut diag = vec![0.0; n];
+        let mut degree = vec![0usize; n];
+        for (i, j, _) in q.iter_nonzero() {
+            if i == j {
+                continue;
+            }
+            degree[i] += 1;
+            degree[j] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let nnz = *offsets.last().unwrap();
+        let mut idx = vec![0usize; nnz];
+        let mut val = vec![0.0; nnz];
+        let mut fill = offsets.clone();
+        for (i, j, v) in q.iter_nonzero() {
+            if i == j {
+                diag[i] = v;
+                continue;
+            }
+            // `iter_nonzero` walks (i, j) row-major with i <= j, so each
+            // row's entries land in ascending column order: columns
+            // below the row index arrive first (from their own rows),
+            // columns above afterwards.
+            idx[fill[i]] = j;
+            val[fill[i]] = v;
+            fill[i] += 1;
+            idx[fill[j]] = i;
+            val[fill[j]] = v;
+            fill[j] += 1;
+        }
+        debug_assert!((0..n).all(|i| idx[offsets[i]..offsets[i + 1]]
+            .windows(2)
+            .all(|w| w[0] < w[1])));
+        Self {
+            diag,
+            offsets,
+            idx,
+            val,
+        }
+    }
+
+    /// Number of variables.
+    pub fn dim(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Structural off-diagonal degree of variable `i`.
+    pub fn degree(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+}
+
 /// Default number of committed flips between full field recomputes.
 ///
 /// Each refresh is O(nnz); at the default interval the amortized cost
@@ -106,49 +186,13 @@ impl LocalFieldState {
             q.dim()
         );
         let n = q.dim();
-        let mut diag = vec![0.0; n];
-        let mut degree = vec![0usize; n];
-        for (i, j, _) in q.iter_nonzero() {
-            if i == j {
-                continue;
-            }
-            degree[i] += 1;
-            degree[j] += 1;
-        }
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.push(0);
-        for d in &degree {
-            offsets.push(offsets.last().unwrap() + d);
-        }
-        let nnz = *offsets.last().unwrap();
-        let mut neighbor_idx = vec![0usize; nnz];
-        let mut neighbor_val = vec![0.0; nnz];
-        let mut fill = offsets.clone();
-        for (i, j, v) in q.iter_nonzero() {
-            if i == j {
-                diag[i] = v;
-                continue;
-            }
-            // `iter_nonzero` walks (i, j) row-major with i <= j, so each
-            // row's entries land in ascending column order: columns
-            // below the row index arrive first (from their own rows),
-            // columns above afterwards.
-            neighbor_idx[fill[i]] = j;
-            neighbor_val[fill[i]] = v;
-            fill[i] += 1;
-            neighbor_idx[fill[j]] = i;
-            neighbor_val[fill[j]] = v;
-            fill[j] += 1;
-        }
-        debug_assert!((0..n).all(|i| neighbor_idx[offsets[i]..offsets[i + 1]]
-            .windows(2)
-            .all(|w| w[0] < w[1])));
+        let csr = CsrNeighbors::build(q);
         let mut state = Self {
             n,
-            diag,
-            offsets,
-            neighbor_idx,
-            neighbor_val,
+            diag: csr.diag,
+            offsets: csr.offsets,
+            neighbor_idx: csr.idx,
+            neighbor_val: csr.val,
             fields: vec![0.0; n],
             commits: 0,
             refresh_interval: DEFAULT_REFRESH_INTERVAL,

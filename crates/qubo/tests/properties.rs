@@ -277,3 +277,78 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    /// Bitplane lane extraction inverts construction, and inserting a
+    /// fresh configuration into one lane round-trips without
+    /// disturbing any other lane.
+    #[test]
+    fn packed_lane_extraction_insertion_round_trips(
+        q in arb_qubo(12),
+        seed in any::<u64>(),
+        lane in 0usize..hycim_qubo::LANES,
+    ) {
+        use hycim_qubo::{PackedReplicaState, LANES};
+        use rand::{rngs::StdRng, SeedableRng};
+        let n = q.dim();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let initials: Vec<Assignment> =
+            (0..LANES).map(|_| Assignment::random(n, &mut rng)).collect();
+        let mut ps = PackedReplicaState::new(&q, &initials);
+        for (k, x) in initials.iter().enumerate() {
+            prop_assert_eq!(&ps.lane_assignment(k), x, "extraction lane {}", k);
+        }
+        let replacement = Assignment::random(n, &mut rng);
+        ps.set_lane_assignment(lane, &replacement);
+        prop_assert_eq!(&ps.lane_assignment(lane), &replacement);
+        for (k, x) in initials.iter().enumerate() {
+            if k != lane {
+                prop_assert_eq!(&ps.lane_assignment(k), x, "insertion disturbed lane {}", k);
+            }
+        }
+    }
+
+    /// After any sequence of masked commits, every packed lane's
+    /// maintained fields are bit-identical to an independent scalar
+    /// `LocalFieldState` replica fed the same flips — including the
+    /// per-lane anti-drift refresh schedule.
+    #[test]
+    fn packed_fields_bit_identical_to_scalar_replicas(
+        q in arb_qubo(10),
+        seed in any::<u64>(),
+        commits in proptest::collection::vec((any::<usize>(), any::<u64>()), 1..60),
+        interval in 0usize..6,
+    ) {
+        use hycim_qubo::{LocalFieldState, PackedReplicaState, LANES};
+        use rand::{rngs::StdRng, SeedableRng};
+        let n = q.dim();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let initials: Vec<Assignment> =
+            (0..LANES).map(|_| Assignment::random(n, &mut rng)).collect();
+        let mut ps = PackedReplicaState::new(&q, &initials).with_refresh_interval(interval);
+        let mut scalars: Vec<(Assignment, LocalFieldState)> = initials
+            .iter()
+            .map(|x| (x.clone(), LocalFieldState::new(&q, x).with_refresh_interval(interval)))
+            .collect();
+        for (raw_i, mask) in commits {
+            let i = raw_i % n;
+            ps.commit_masked(i, mask);
+            for (k, (x, lf)) in scalars.iter_mut().enumerate() {
+                if (mask >> k) & 1 == 1 {
+                    x.flip(i);
+                    lf.commit_flip(x, i);
+                }
+            }
+        }
+        for (k, (x, lf)) in scalars.iter().enumerate() {
+            prop_assert_eq!(&ps.lane_assignment(k), x, "lane {} configuration", k);
+            for i in 0..n {
+                prop_assert_eq!(
+                    ps.field(i, k).to_bits(),
+                    lf.field(i).to_bits(),
+                    "lane {} field {}", k, i
+                );
+            }
+        }
+    }
+}

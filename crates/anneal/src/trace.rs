@@ -129,6 +129,18 @@ impl AnnealTrace {
         self.accepted + self.rejected_metropolis + self.rejected_infeasible
     }
 
+    /// Annealing iterations until the run first touched its best
+    /// energy — the deterministic time-to-target proxy the study
+    /// harness and the wire protocol report (index 0 = already optimal
+    /// at the initial configuration, also the fallback for runs
+    /// executed without trace recording).
+    pub fn iters_to_best(&self) -> usize {
+        self.energies
+            .iter()
+            .position(|&e| e == self.best_energy)
+            .unwrap_or(0)
+    }
+
     /// Fraction of iterations spent on infeasible proposals — the
     /// quantity HyCiM's filter keeps from wasting crossbar energy.
     pub fn infeasible_fraction(&self) -> f64 {
@@ -154,6 +166,7 @@ mod tests {
         assert_eq!(t.iterations(), 3);
         assert_eq!(t.best_energy(), -1.0);
         assert_eq!(t.energies(), &[0.0, -1.0]);
+        assert_eq!(t.iters_to_best(), 1);
         assert!((t.infeasible_fraction() - 1.0 / 3.0).abs() < 1e-12);
         assert_eq!(t.best_assignment().ones(), 1);
     }
@@ -171,5 +184,6 @@ mod tests {
         let t = AnnealTrace::new(1.0, Assignment::zeros(1), false);
         assert!(t.energies().is_empty());
         assert_eq!(t.infeasible_fraction(), 0.0);
+        assert_eq!(t.iters_to_best(), 0);
     }
 }

@@ -1,0 +1,140 @@
+//! The distributed study runner: the same replica × problem × engine
+//! grid as [`StudyRunner`](crate::StudyRunner), executed by sharding
+//! every cell's replica column across TCP workers through a
+//! [`Coordinator`] and merging the results.
+//!
+//! Determinism contract: instances come from the exact construction
+//! path the local runner uses (`build_instance`), every shard
+//! carries its pre-derived solve seeds plus the instance-keyed
+//! hardware seed, and scoring delegates to the same formulas
+//! ([`WireSolution::objective_success`], `summarize_cell`). A
+//! distributed run therefore renders a `BENCH_study.json` document
+//! **byte-identical** to a local single-thread run of the same recipe
+//! — the pin of the `distributed_study` integration tests and the
+//! `shard_demo` binary.
+
+use std::time::Instant;
+
+use hycim_net::{shard_replica_column, Coordinator, JobSpec, WireSolution};
+
+use crate::recipe::StudyRecipe;
+use crate::stats::{rank_engines, summarize_cell, ProblemSummary};
+use crate::study::{build_instance, StudyResult};
+
+/// Executes [`StudyRecipe`]s by sharding every cell over wire workers.
+#[derive(Debug, Clone)]
+pub struct DistributedStudyRunner {
+    addrs: Vec<String>,
+    shards: usize,
+}
+
+impl DistributedStudyRunner {
+    /// A runner dispatching to the given worker addresses, with one
+    /// shard per worker by default.
+    pub fn new(addrs: Vec<String>) -> Self {
+        let shards = addrs.len().max(1);
+        Self { addrs, shards }
+    }
+
+    /// Overrides how many shards each replica column is split into
+    /// (the merged result is bit-identical for any shard count — only
+    /// dispatch granularity changes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// Runs the full grid of a recipe over the workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the instance and engine on the first
+    /// cell that cannot be constructed, dispatched, or merged
+    /// (exhausted retries surface here as the coordinator's typed
+    /// error, stringified with its cell context).
+    pub fn run(&self, recipe: &StudyRecipe) -> Result<StudyResult, String> {
+        let started = Instant::now();
+        let coordinator = Coordinator::new(self.addrs.clone());
+        let mut problems = Vec::new();
+        let mut total_iterations = 0u64;
+        for (spec, n, key) in recipe.instances() {
+            let instance = build_instance(&spec, n, &key, recipe)?;
+            let mut batches = Vec::new();
+            for &kind in &recipe.engines {
+                let base = JobSpec {
+                    family: instance.family_tag().to_string(),
+                    problem: instance.to_wire(),
+                    engine: kind.tag().to_string(),
+                    sweeps: recipe.sweeps as u64,
+                    hardware_seed: recipe.hardware_seed(&key),
+                    record_trace: true,
+                    seeds: Vec::new(),
+                };
+                let (total, jobs) = shard_replica_column(
+                    &base,
+                    recipe.replicas,
+                    recipe.solve_seed(&key),
+                    0,
+                    self.shards,
+                );
+                let merged = coordinator
+                    .run(total, &jobs)
+                    .map_err(|e| format!("{key} on {}: {e}", kind.tag()))?;
+                batches.push((kind, merged));
+            }
+
+            // Problem-local reference, folded exactly as the local
+            // runner folds it: the instance's own reference with the
+            // best feasible solve of any engine on this problem.
+            let best_seen = batches
+                .iter()
+                .flat_map(|(_, runs)| runs.iter())
+                .filter(|s| s.feasible)
+                .map(|s| s.objective)
+                .fold(f64::INFINITY, f64::min);
+            let reference = instance
+                .reference_objective(recipe.instance_seed(&key))
+                .unwrap_or(f64::INFINITY)
+                .min(best_seen);
+
+            let mut cells = Vec::new();
+            for (kind, runs) in &batches {
+                let scores: Vec<(f64, bool, bool, usize, usize)> = runs
+                    .iter()
+                    .map(|s: &WireSolution| {
+                        (
+                            s.objective,
+                            s.feasible,
+                            s.objective_success(reference),
+                            s.iters_to_best as usize,
+                            s.iterations as usize,
+                        )
+                    })
+                    .collect();
+                total_iterations += scores.iter().map(|s| s.4 as u64).sum::<u64>();
+                cells.push(summarize_cell(kind.tag(), &scores));
+            }
+            problems.push(ProblemSummary {
+                problem: key.clone(),
+                family: spec.family.tag().to_string(),
+                n,
+                dim: instance.dim(),
+                reference,
+                cells,
+            });
+        }
+        let rankings = rank_engines(&problems);
+        Ok(StudyResult {
+            recipe: recipe.clone(),
+            problems,
+            rankings,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            total_iterations,
+        })
+    }
+}

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod distributed;
 pub mod gate;
 pub mod hotpath;
 pub mod recipe;
@@ -50,6 +51,7 @@ pub use check::{
     validate_study_json, CommittedCell, ReportMeta, HOTPATH_REPLICA_ROW_KEYS, HOTPATH_ROW_KEYS,
     HOTPATH_SCHEMA, HOTPATH_SCHEMA_V1, HOTPATH_SCHEMA_V2, STUDY_SCHEMA,
 };
+pub use distributed::DistributedStudyRunner;
 pub use recipe::{EngineKind, Family, FamilySpec, RecipeError, StudyRecipe};
 pub use stats::{rank_cells, rank_engines, CellSummary, EngineRanking, ProblemSummary};
 pub use study::{render_study_json, StudyResult, StudyRunner};

@@ -30,54 +30,10 @@
 use std::fmt;
 
 use hycim_core::replica_seed;
-
-/// Engine backends a study column can select.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum EngineKind {
-    /// Noise-free software reference (`SoftwareEngine`).
-    Software,
-    /// Filter + crossbar pipeline (`HyCimEngine`).
-    HyCim,
-    /// Multi-constraint filter bank (`BankEngine`).
-    Bank,
-    /// Penalty-encoding D-QUBO baseline (`DquboEngine`).
-    Dqubo,
-    /// Bit-parallel 64-lane software engine (`PackedEngine`).
-    Packed,
-}
-
-impl EngineKind {
-    /// All engine kinds, in canonical order.
-    pub const ALL: [EngineKind; 5] = [
-        EngineKind::Software,
-        EngineKind::HyCim,
-        EngineKind::Bank,
-        EngineKind::Dqubo,
-        EngineKind::Packed,
-    ];
-
-    /// The recipe/JSON tag of this backend.
-    pub fn tag(self) -> &'static str {
-        match self {
-            EngineKind::Software => "software",
-            EngineKind::HyCim => "hycim",
-            EngineKind::Bank => "bank",
-            EngineKind::Dqubo => "dqubo",
-            EngineKind::Packed => "packed",
-        }
-    }
-
-    /// Parses a recipe tag.
-    pub fn from_tag(tag: &str) -> Option<Self> {
-        Self::ALL.into_iter().find(|k| k.tag() == tag)
-    }
-}
-
-impl fmt::Display for EngineKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.tag())
-    }
-}
+// The backend vocabulary moved to `hycim-core` (the wire protocol
+// needs it without depending on the harness); re-exported here so
+// recipe users keep one import path.
+pub use hycim_core::EngineKind;
 
 /// A problem family plus its family-specific parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -13,7 +13,6 @@
 //! not positional, any sub-recipe — the CI gate — reproduces the
 //! exact cells of a superset study.
 
-use hycim_anneal::AnnealTrace;
 use hycim_cop::binpack::BinPacking;
 use hycim_cop::coloring::GraphColoring;
 use hycim_cop::generator::QkpGenerator;
@@ -22,11 +21,8 @@ use hycim_cop::maxcut::MaxCut;
 use hycim_cop::mkp::MkpGenerator;
 use hycim_cop::spinglass::SpinGlass;
 use hycim_cop::tsp::Tsp;
-use hycim_cop::CopProblem;
-use hycim_core::{
-    BankEngine, BatchRunner, DquboConfig, DquboEngine, Engine, HyCimConfig, HyCimEngine,
-    PackedConfig, PackedEngine, SoftwareEngine,
-};
+use hycim_cop::{AnyProblem, CopProblem};
+use hycim_core::{BatchRunner, Engine, EngineSettings};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -105,46 +101,16 @@ impl StudyRunner {
         let mut wall_seconds = 0.0;
         let mut total_iterations = 0u64;
         for (spec, n, key) in recipe.instances() {
-            let iseed = recipe.instance_seed(&key);
-            let (summary, wall, iters) = match spec.family {
-                Family::Qkp { density_pct } => {
-                    let inst = QkpGenerator::new(n, density_pct as f64 / 100.0).generate(iseed);
-                    run_instance(&inst, &spec, n, &key, recipe, &self.runner)
-                }
-                Family::Knapsack => run_instance(
-                    &random_knapsack(n, iseed),
-                    &spec,
-                    n,
-                    &key,
-                    recipe,
-                    &self.runner,
-                ),
-                Family::MaxCut { density_pct } => {
-                    let g = MaxCut::random(n, density_pct as f64 / 100.0, iseed);
-                    run_instance(&g, &spec, n, &key, recipe, &self.runner)
-                }
-                Family::SpinGlass => {
-                    let sg =
-                        SpinGlass::random_binary(n, iseed).map_err(|e| format!("{key}: {e}"))?;
-                    run_instance(&sg, &spec, n, &key, recipe, &self.runner)
-                }
-                Family::Tsp => {
-                    let tsp =
-                        Tsp::random_euclidean(n, 10.0, iseed).map_err(|e| format!("{key}: {e}"))?;
-                    run_instance(&tsp, &spec, n, &key, recipe, &self.runner)
-                }
-                Family::Coloring { colors } => {
-                    let g = GraphColoring::random(n, 0.3, colors as usize, iseed);
-                    run_instance(&g, &spec, n, &key, recipe, &self.runner)
-                }
-                Family::BinPack { bins } => {
-                    let bp = random_bin_packing(n, bins as usize, iseed);
-                    run_instance(&bp, &spec, n, &key, recipe, &self.runner)
-                }
-                Family::Mkp { dims } => {
-                    let mkp = MkpGenerator::new(n, dims as usize).generate(iseed);
-                    run_instance(&mkp, &spec, n, &key, recipe, &self.runner)
-                }
+            let instance = build_instance(&spec, n, &key, recipe)?;
+            let (summary, wall, iters) = match &instance {
+                AnyProblem::Qkp(p) => run_instance(p, &spec, n, &key, recipe, &self.runner),
+                AnyProblem::Knapsack(p) => run_instance(p, &spec, n, &key, recipe, &self.runner),
+                AnyProblem::MaxCut(p) => run_instance(p, &spec, n, &key, recipe, &self.runner),
+                AnyProblem::SpinGlass(p) => run_instance(p, &spec, n, &key, recipe, &self.runner),
+                AnyProblem::Tsp(p) => run_instance(p, &spec, n, &key, recipe, &self.runner),
+                AnyProblem::Coloring(p) => run_instance(p, &spec, n, &key, recipe, &self.runner),
+                AnyProblem::BinPack(p) => run_instance(p, &spec, n, &key, recipe, &self.runner),
+                AnyProblem::Mkp(p) => run_instance(p, &spec, n, &key, recipe, &self.runner),
             }?;
             wall_seconds += wall;
             total_iterations += iters;
@@ -167,47 +133,22 @@ impl Default for StudyRunner {
     }
 }
 
-/// Builds the engine column for one problem instance (`'static`
-/// because the boxed engine owns its clone of the problem).
+/// Builds the engine column for one problem instance: the shared
+/// [`EngineKind::build`] constructor with the recipe's instance-keyed
+/// hardware seed, wrapping failures with study context. Using the
+/// same constructor as the wire workers is what keeps distributed
+/// study runs bit-identical to local ones.
 fn build_engine<P: CopProblem + 'static>(
     kind: EngineKind,
     problem: &P,
     key: &str,
     recipe: &StudyRecipe,
 ) -> Result<Box<dyn Engine<P>>, String> {
-    let config = HyCimConfig::default()
-        .with_sweeps(recipe.sweeps)
-        .with_trace();
-    let hw_seed = recipe.hardware_seed(key);
-    let fail = |e| format!("{key} does not run on {}: {e}", kind.tag());
-    Ok(match kind {
-        EngineKind::Software => Box::new(SoftwareEngine::new(problem, &config).map_err(fail)?),
-        EngineKind::HyCim => Box::new(HyCimEngine::new(problem, &config, hw_seed).map_err(fail)?),
-        EngineKind::Bank => Box::new(BankEngine::new(problem, &config, hw_seed).map_err(fail)?),
-        EngineKind::Dqubo => {
-            let mut dq = DquboConfig::default().with_sweeps(recipe.sweeps);
-            dq.record_trace = true;
-            Box::new(DquboEngine::new(problem, &dq).map_err(fail)?)
-        }
-        EngineKind::Packed => {
-            // 64 bitplane lanes per solve; counts-only trace (the
-            // iters-to-best proxy reads 0 on its empty energy curve).
-            let packed = PackedConfig::paper().with_sweeps(recipe.sweeps);
-            Box::new(PackedEngine::new(problem, &packed).map_err(fail)?)
-        }
-    })
-}
-
-/// Annealing iterations until a run first touched its best energy —
-/// the deterministic time-to-target proxy (index 0 = already optimal
-/// at the initial configuration).
-fn iters_to_best(trace: &AnnealTrace) -> usize {
-    let best = trace.best_energy();
-    trace
-        .energies()
-        .iter()
-        .position(|&e| e == best)
-        .unwrap_or(0)
+    kind.build(
+        problem,
+        &EngineSettings::new(recipe.sweeps, recipe.hardware_seed(key)),
+    )
+    .map_err(|e| format!("{key} does not run on {}: {e}", kind.tag()))
 }
 
 fn run_instance<P: CopProblem + 'static>(
@@ -251,7 +192,7 @@ fn run_instance<P: CopProblem + 'static>(
                     s.objective,
                     s.feasible,
                     s.objective_success(reference),
-                    iters_to_best(&s.trace),
+                    s.trace.iters_to_best(),
                     t.iterations,
                 )
             })
@@ -269,6 +210,40 @@ fn run_instance<P: CopProblem + 'static>(
         cells,
     };
     Ok((summary, wall, iterations))
+}
+
+/// Generates the instance of one recipe cell, type-erased — the ONE
+/// construction path shared by the local [`StudyRunner`] and the
+/// distributed runner, so both score the exact same instances.
+pub(crate) fn build_instance(
+    spec: &FamilySpec,
+    n: usize,
+    key: &str,
+    recipe: &StudyRecipe,
+) -> Result<AnyProblem, String> {
+    let iseed = recipe.instance_seed(key);
+    Ok(match spec.family {
+        Family::Qkp { density_pct } => {
+            AnyProblem::from(QkpGenerator::new(n, density_pct as f64 / 100.0).generate(iseed))
+        }
+        Family::Knapsack => AnyProblem::from(random_knapsack(n, iseed)),
+        Family::MaxCut { density_pct } => {
+            AnyProblem::from(MaxCut::random(n, density_pct as f64 / 100.0, iseed))
+        }
+        Family::SpinGlass => {
+            AnyProblem::from(SpinGlass::random_binary(n, iseed).map_err(|e| format!("{key}: {e}"))?)
+        }
+        Family::Tsp => AnyProblem::from(
+            Tsp::random_euclidean(n, 10.0, iseed).map_err(|e| format!("{key}: {e}"))?,
+        ),
+        Family::Coloring { colors } => {
+            AnyProblem::from(GraphColoring::random(n, 0.3, colors as usize, iseed))
+        }
+        Family::BinPack { bins } => AnyProblem::from(random_bin_packing(n, bins as usize, iseed)),
+        Family::Mkp { dims } => {
+            AnyProblem::from(MkpGenerator::new(n, dims as usize).generate(iseed))
+        }
+    })
 }
 
 /// A seeded linear knapsack: weights comfortably below the filter's

@@ -34,6 +34,14 @@ pub enum CopError {
         /// Number of capacities supplied.
         capacities: usize,
     },
+    /// A spin-glass coupling table has the wrong length for its spin
+    /// count (must be `n·(n−1)/2` entries, `i < j` row-major).
+    CouplingCountMismatch {
+        /// Number of couplings the spin count requires.
+        expected: usize,
+        /// Number of couplings supplied.
+        got: usize,
+    },
     /// Capacity is zero.
     ZeroCapacity,
     /// An item weight is zero (items must consume capacity).
@@ -75,6 +83,10 @@ impl fmt::Display for CopError {
             } => write!(
                 f,
                 "dimension count mismatch: {weight_rows} weight rows, {capacities} capacities"
+            ),
+            CopError::CouplingCountMismatch { expected, got } => write!(
+                f,
+                "coupling count mismatch: spin count requires {expected} couplings, got {got}"
             ),
             CopError::ZeroCapacity => write!(f, "knapsack capacity is zero"),
             CopError::ZeroWeight { item } => write!(f, "item {item} has zero weight"),

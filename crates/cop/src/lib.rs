@@ -22,6 +22,9 @@
 //! * [`coloring`], [`tsp`], [`spinglass`] — the remaining Table 1
 //!   problem classes (equality-constrained and unconstrained),
 //!   rounding out the "general COPs" coverage.
+//! * [`wire`] — [`AnyProblem`], the family-tagged canonical text
+//!   serialization that ships fully materialized instances across the
+//!   `hycim-net` job protocol.
 //! * [`solvers`] — reference solvers: exhaustive (small n), greedy,
 //!   and local search, used to establish best-known values for the
 //!   success-rate criterion (paper Sec 4.3).
@@ -53,9 +56,11 @@ mod qkp;
 pub mod solvers;
 pub mod spinglass;
 pub mod tsp;
+pub mod wire;
 
 pub use error::CopError;
 pub use problem::{
     bin_packing_assignment_penalty, coloring_penalty_weight, tsp_penalty_weight, CopProblem,
 };
 pub use qkp::QkpInstance;
+pub use wire::AnyProblem;

@@ -71,6 +71,38 @@ impl SpinGlass {
         Ok(Self { n, couplings })
     }
 
+    /// Builds an instance from an explicit coupling table (`J_ij` for
+    /// `i < j`, row-major — the layout [`coupling`](Self::coupling)
+    /// reads). This is the deserialization entry point: the wire layer
+    /// ships instances as explicit couplings so a worker reconstructs
+    /// exactly the instance the coordinator generated, without
+    /// replaying any RNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CopError::EmptyInstance`] for fewer than 2 spins and
+    /// [`CopError::CouplingCountMismatch`] unless exactly `n·(n−1)/2`
+    /// couplings are supplied.
+    pub fn from_couplings(n: usize, couplings: Vec<f64>) -> Result<Self, CopError> {
+        if n < 2 {
+            return Err(CopError::EmptyInstance);
+        }
+        let expected = n * (n - 1) / 2;
+        if couplings.len() != expected {
+            return Err(CopError::CouplingCountMismatch {
+                expected,
+                got: couplings.len(),
+            });
+        }
+        Ok(Self { n, couplings })
+    }
+
+    /// The raw coupling table: `J_ij` for `i < j`, row-major. The
+    /// inverse of [`from_couplings`](Self::from_couplings).
+    pub fn couplings(&self) -> &[f64] {
+        &self.couplings
+    }
+
     /// Number of spins.
     pub fn num_spins(&self) -> usize {
         self.n
@@ -220,5 +252,20 @@ mod tests {
     #[test]
     fn too_small_rejected() {
         assert!(SpinGlass::random_binary(1, 0).is_err());
+    }
+
+    #[test]
+    fn from_couplings_round_trips() {
+        let sg = SpinGlass::random_gaussian(9, 11).unwrap();
+        let rebuilt = SpinGlass::from_couplings(9, sg.couplings().to_vec()).unwrap();
+        assert_eq!(rebuilt, sg);
+        assert!(matches!(
+            SpinGlass::from_couplings(4, vec![0.0; 5]),
+            Err(CopError::CouplingCountMismatch {
+                expected: 6,
+                got: 5
+            })
+        ));
+        assert!(SpinGlass::from_couplings(1, vec![]).is_err());
     }
 }

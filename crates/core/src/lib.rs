@@ -64,7 +64,9 @@ mod config;
 mod engine;
 mod error;
 mod hardware;
+mod kind;
 mod packed_engine;
+pub mod shard;
 mod solution;
 pub mod success;
 pub mod table;
@@ -78,5 +80,7 @@ pub use engine::{
 };
 pub use error::HycimError;
 pub use hardware::{BankHardwareState, DquboHardwareState, HyCimHardwareState};
+pub use kind::{EngineKind, EngineSettings};
 pub use packed_engine::{PackedConfig, PackedEngine, PackedMode};
-pub use solution::Solution;
+pub use shard::{merge_shards, Shard, ShardError, ShardPlan};
+pub use solution::{objective_success, Solution};

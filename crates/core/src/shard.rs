@@ -1,0 +1,313 @@
+//! Shard planning and result merging for distributed replica grids.
+//!
+//! The determinism backbone makes sharding trivial to get *right* and
+//! this module makes it hard to get *wrong*: because every cell of a
+//! replica × problem grid derives its seed positionally via
+//! [`replica_seed`](crate::replica_seed), any contiguous index range
+//! of the flattened grid can be computed anywhere — a worker process
+//! across the network, a thread, a retry after a crash — and the
+//! merged result is bit-identical to a local
+//! [`BatchRunner`](crate::BatchRunner) run as long as every index is
+//! covered exactly once. [`ShardPlan`] produces such ranges and
+//! [`merge_shards`] enforces the exactly-once property with typed
+//! errors (overlap, gap, length mismatch) instead of silently
+//! corrupting a merge.
+
+use std::fmt;
+
+/// One contiguous index range `[start, end)` of a flattened grid,
+/// tagged with its position in the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shard {
+    /// Position of this shard in the plan (0-based).
+    pub index: usize,
+    /// First flat grid index covered (inclusive).
+    pub start: usize,
+    /// One past the last flat grid index covered.
+    pub end: usize,
+}
+
+impl Shard {
+    /// Number of grid cells this shard covers.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the shard covers no cells.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The flat grid indices of this shard, in order.
+    pub fn indices(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard {} [{}, {})", self.index, self.start, self.end)
+    }
+}
+
+/// A partition of `0..total` into contiguous shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    total: usize,
+    shards: Vec<Shard>,
+}
+
+impl ShardPlan {
+    /// Splits `0..total` into at most `shards` near-equal contiguous
+    /// ranges (the first `total % shards` ranges are one cell longer).
+    /// Empty shards are never produced: when `total < shards` the plan
+    /// has `total` one-cell shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn split(total: usize, shards: usize) -> Self {
+        assert!(shards > 0, "shard count must be at least 1");
+        let parts = shards.min(total);
+        let mut out = Vec::with_capacity(parts);
+        let mut start = 0;
+        for index in 0..parts {
+            let len = total / parts + usize::from(index < total % parts);
+            out.push(Shard {
+                index,
+                start,
+                end: start + len,
+            });
+            start += len;
+        }
+        Self { total, shards: out }
+    }
+
+    /// Total number of grid cells the plan covers.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The shards, in index order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+}
+
+/// Why a set of shard results cannot be merged. Every variant means a
+/// bug or a fault upstream — the merge refuses rather than producing
+/// a silently wrong artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// A shard returned a different number of results than the range
+    /// it was assigned.
+    LengthMismatch {
+        /// The offending shard.
+        shard: Shard,
+        /// Results it returned.
+        got: usize,
+    },
+    /// Two shards cover overlapping index ranges.
+    Overlap {
+        /// The earlier shard (by start index).
+        first: Shard,
+        /// The overlapping shard.
+        second: Shard,
+    },
+    /// No shard covers the cells starting at this index.
+    Gap {
+        /// First uncovered flat grid index.
+        missing: usize,
+    },
+    /// Coverage ends beyond the grid (a shard from a different plan).
+    OutOfRange {
+        /// The offending shard.
+        shard: Shard,
+        /// The grid's total cell count.
+        total: usize,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::LengthMismatch { shard, got } => {
+                write!(
+                    f,
+                    "{shard} returned {got} results for {} cells",
+                    shard.len()
+                )
+            }
+            ShardError::Overlap { first, second } => {
+                write!(f, "{second} overlaps {first}")
+            }
+            ShardError::Gap { missing } => {
+                write!(f, "no shard covers grid index {missing}")
+            }
+            ShardError::OutOfRange { shard, total } => {
+                write!(f, "{shard} exceeds grid of {total} cells")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Reassembles per-shard results into grid order, verifying that the
+/// shards cover `0..total` exactly once and that each shard returned
+/// exactly as many results as cells it was assigned.
+///
+/// Shard arrival order does not matter — the merge sorts by range —
+/// which is what makes the merged artifact invariant under dispatch
+/// order, retries, and worker count.
+///
+/// # Errors
+///
+/// Returns a [`ShardError`] naming the first violation.
+pub fn merge_shards<T>(total: usize, parts: Vec<(Shard, Vec<T>)>) -> Result<Vec<T>, ShardError> {
+    let mut parts = parts;
+    parts.sort_by_key(|(shard, _)| (shard.start, shard.end));
+    let mut cursor = 0usize;
+    for (shard, results) in &parts {
+        if shard.end > total || shard.start > total {
+            return Err(ShardError::OutOfRange {
+                shard: *shard,
+                total,
+            });
+        }
+        if results.len() != shard.len() {
+            return Err(ShardError::LengthMismatch {
+                shard: *shard,
+                got: results.len(),
+            });
+        }
+        if shard.start < cursor {
+            // Find the earlier shard it collides with for the report.
+            let first = parts
+                .iter()
+                .map(|(s, _)| *s)
+                .take_while(|s| s != shard)
+                .filter(|s| s.end > shard.start)
+                .last()
+                .unwrap_or(*shard);
+            return Err(ShardError::Overlap {
+                first,
+                second: *shard,
+            });
+        }
+        if shard.start > cursor {
+            return Err(ShardError::Gap { missing: cursor });
+        }
+        cursor = shard.end;
+    }
+    if cursor < total {
+        return Err(ShardError::Gap { missing: cursor });
+    }
+    Ok(parts.into_iter().flat_map(|(_, r)| r).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_partitions_exactly() {
+        for total in [0usize, 1, 2, 5, 7, 64, 100] {
+            for shards in [1usize, 2, 3, 7, 16] {
+                let plan = ShardPlan::split(total, shards);
+                assert_eq!(plan.total(), total);
+                assert_eq!(plan.shards().len(), shards.min(total));
+                let mut cursor = 0;
+                for (i, s) in plan.shards().iter().enumerate() {
+                    assert_eq!(s.index, i);
+                    assert_eq!(s.start, cursor);
+                    assert!(!s.is_empty(), "{total}/{shards} produced empty {s}");
+                    cursor = s.end;
+                }
+                assert_eq!(cursor, total, "{total}/{shards}");
+                // Near-equal: lengths differ by at most one.
+                if let (Some(max), Some(min)) = (
+                    plan.shards().iter().map(Shard::len).max(),
+                    plan.shards().iter().map(Shard::len).min(),
+                ) {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_restores_grid_order_under_any_permutation() {
+        let plan = ShardPlan::split(11, 3);
+        let make = |s: &Shard| (*s, s.indices().collect::<Vec<usize>>());
+        let base: Vec<_> = plan.shards().iter().map(make).collect();
+        // All 6 permutations of 3 shards.
+        for perm in [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ] {
+            let parts: Vec<_> = perm.iter().map(|&i| base[i].clone()).collect();
+            let merged = merge_shards(11, parts).unwrap();
+            assert_eq!(merged, (0..11).collect::<Vec<_>>(), "{perm:?}");
+        }
+    }
+
+    #[test]
+    fn merge_rejects_length_mismatch() {
+        let plan = ShardPlan::split(6, 2);
+        let s0 = plan.shards()[0];
+        let s1 = plan.shards()[1];
+        let err = merge_shards(6, vec![(s0, vec![0, 1, 2]), (s1, vec![3, 4])]).unwrap_err();
+        assert!(
+            matches!(err, ShardError::LengthMismatch { got: 2, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn merge_rejects_gaps_missing_shards_and_overlaps() {
+        let plan = ShardPlan::split(6, 3);
+        let [s0, s1, s2] = [plan.shards()[0], plan.shards()[1], plan.shards()[2]];
+        let data = |s: &Shard| s.indices().collect::<Vec<usize>>();
+
+        // Missing middle shard.
+        let err = merge_shards(6, vec![(s0, data(&s0)), (s2, data(&s2))]).unwrap_err();
+        assert_eq!(err, ShardError::Gap { missing: s1.start });
+
+        // Missing tail shard.
+        let err = merge_shards(6, vec![(s0, data(&s0)), (s1, data(&s1))]).unwrap_err();
+        assert_eq!(err, ShardError::Gap { missing: s2.start });
+
+        // Duplicate shard = overlap.
+        let err =
+            merge_shards(6, vec![(s0, data(&s0)), (s0, data(&s0)), (s1, data(&s1))]).unwrap_err();
+        assert!(matches!(err, ShardError::Overlap { .. }), "{err}");
+
+        // A shard from a bigger plan.
+        let foreign = Shard {
+            index: 9,
+            start: 4,
+            end: 9,
+        };
+        let err = merge_shards(6, vec![(s0, data(&s0)), (foreign, vec![0; 5])]).unwrap_err();
+        assert!(matches!(err, ShardError::OutOfRange { .. }), "{err}");
+    }
+
+    #[test]
+    fn errors_render_readably() {
+        let s = Shard {
+            index: 1,
+            start: 2,
+            end: 5,
+        };
+        assert_eq!(s.to_string(), "shard 1 [2, 5)");
+        assert!(ShardError::LengthMismatch { shard: s, got: 1 }
+            .to_string()
+            .contains("1 results for 3 cells"));
+        assert!(ShardError::Gap { missing: 7 }.to_string().contains("7"));
+    }
+}

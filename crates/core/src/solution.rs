@@ -31,6 +31,26 @@ pub struct Solution<P: CopProblem> {
     pub trace: AnnealTrace,
 }
 
+/// The scoring-side success criterion as a free function of the raw
+/// (objective, feasible) pair — shared by [`Solution`] and by
+/// consumers scoring solutions that crossed the wire, so the two
+/// paths cannot drift apart: feasible and within 5% of `reference` on
+/// the favorable side; `reference == 0` (pure feasibility problems)
+/// demands an exact zero-violation solution.
+pub fn objective_success(objective: f64, feasible: bool, reference: f64) -> bool {
+    const EPS: f64 = 1e-9;
+    if !feasible || !reference.is_finite() {
+        return false;
+    }
+    if reference.abs() < EPS {
+        objective.abs() < EPS
+    } else if reference < 0.0 {
+        objective <= 0.95 * reference
+    } else {
+        objective <= reference / 0.95
+    }
+}
+
 impl<P: CopProblem> Solution<P> {
     /// Scores a final configuration against the problem: decodes it,
     /// checks feasibility, and records the domain objective.
@@ -81,17 +101,7 @@ impl<P: CopProblem> Solution<P> {
     /// `reference == 0` (pure feasibility problems: coloring, bin
     /// packing) demands an exact zero-violation solution.
     pub fn objective_success(&self, reference: f64) -> bool {
-        const EPS: f64 = 1e-9;
-        if !self.feasible || !reference.is_finite() {
-            return false;
-        }
-        if reference.abs() < EPS {
-            self.objective.abs() < EPS
-        } else if reference < 0.0 {
-            self.objective <= 0.95 * reference
-        } else {
-            self.objective <= reference / 0.95
-        }
+        objective_success(self.objective, self.feasible, reference)
     }
 
     /// Solution quality in `[0, ~1]` relative to `reference` (1 =

@@ -1,0 +1,62 @@
+//! `hycim-worker`: serve HyCiM solve shards over TCP.
+//!
+//! ```text
+//! hycim-worker --listen 127.0.0.1:7171 [--threads N] [--queue N]
+//! ```
+//!
+//! Speaks the `hycim1` framed-JSON protocol (see the `hycim-net`
+//! crate docs); pair it with the `shard_demo` coordinator binary or
+//! any `Coordinator`.
+
+use hycim_net::{WorkerConfig, WorkerServer};
+
+fn main() {
+    let mut listen = "127.0.0.1:7171".to_string();
+    let mut config = WorkerConfig::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => listen = expect_value(&arg, args.next()),
+            "--threads" => config.threads = parse_num(&arg, args.next()),
+            "--queue" => config.queue_capacity = parse_num(&arg, args.next()),
+            "--help" | "-h" => {
+                println!("usage: hycim-worker [--listen ADDR:PORT] [--threads N] [--queue N]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let server = match WorkerServer::bind(listen.as_str(), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("hycim-worker listening on {addr}"),
+        Err(_) => println!("hycim-worker listening on {listen}"),
+    }
+    if let Err(e) = server.serve() {
+        eprintln!("accept loop failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn expect_value(flag: &str, value: Option<String>) -> String {
+    value.unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
+fn parse_num(flag: &str, value: Option<String>) -> usize {
+    let text = expect_value(flag, value);
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} needs a positive integer, got {text:?}");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,260 @@
+//! The coordinator side of one connection: a blocking request →
+//! response client over TCP, plus the typed [`NetError`] every
+//! client- and coordinator-level failure funnels into.
+
+use std::fmt;
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use hycim_core::ShardError;
+use hycim_service::{DisposeOutcome, JobStatus};
+
+use crate::frame::{FrameError, MessageReceiver, MessageSender};
+use crate::proto::{ErrorCode, JobSpec, ProtoError, Request, Response, WireSolution};
+
+/// Any failure of the networked path, every variant typed — the
+/// coordinator never surfaces a hang or a corrupted merge, it
+/// surfaces one of these.
+#[derive(Debug)]
+pub enum NetError {
+    /// The transport failed (connect, read, write, or the peer closed
+    /// mid-conversation).
+    Io(std::io::Error),
+    /// A frame could not be read.
+    Frame(FrameError),
+    /// A frame decoded but violated the protocol.
+    Proto(ProtoError),
+    /// The peer answered with a different reply than the verb allows.
+    UnexpectedReply {
+        /// What the sent verb allows.
+        expected: &'static str,
+        /// What arrived instead.
+        got: String,
+    },
+    /// The worker answered with a typed protocol error.
+    Remote {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail from the worker.
+        message: String,
+    },
+    /// Shard results could not be merged (a coordinator-side bug or a
+    /// worker returning the wrong count).
+    Shard(ShardError),
+    /// A shard ran out of workers to retry on.
+    ShardExhausted {
+        /// Flat-grid start of the failed shard.
+        start: usize,
+        /// Flat-grid end of the failed shard.
+        end: usize,
+        /// Dispatch attempts made.
+        attempts: usize,
+        /// The failure of the last attempt.
+        last: String,
+    },
+    /// The coordinator was given no worker addresses.
+    NoWorkers,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport: {e}"),
+            NetError::Frame(e) => write!(f, "framing: {e}"),
+            NetError::Proto(e) => write!(f, "{e}"),
+            NetError::UnexpectedReply { expected, got } => {
+                write!(f, "expected a {expected} reply, got {got}")
+            }
+            NetError::Remote { code, message } => write!(f, "worker error [{code}]: {message}"),
+            NetError::Shard(e) => write!(f, "merge: {e}"),
+            NetError::ShardExhausted {
+                start,
+                end,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "shard [{start}, {end}) failed after {attempts} attempts; last error: {last}"
+            ),
+            NetError::NoWorkers => write!(f, "no worker addresses given"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            NetError::Frame(e) => Some(e),
+            NetError::Proto(e) => Some(e),
+            NetError::Shard(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}
+
+impl From<ProtoError> for NetError {
+    fn from(e: ProtoError) -> Self {
+        NetError::Proto(e)
+    }
+}
+
+/// A connection to one worker. Requests are strictly sequential (one
+/// in flight); jobs themselves run asynchronously on the worker, so a
+/// client submits many jobs and polls them through the same
+/// connection.
+pub struct WorkerClient {
+    sender: MessageSender<TcpStream>,
+    receiver: MessageReceiver<BufReader<TcpStream>>,
+}
+
+impl WorkerClient {
+    /// Connects to a worker.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            sender: MessageSender::new(stream),
+            receiver: MessageReceiver::new(reader),
+        })
+    }
+
+    /// Sets a read timeout so a silent peer turns into a typed
+    /// [`NetError::Io`] instead of a hang.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.receiver_stream().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn receiver_stream(&self) -> &TcpStream {
+        // The receiver wraps a clone of the sender's stream; timeouts
+        // apply per-clone, so set it on the reading clone.
+        self.receiver_ref().get_ref()
+    }
+
+    fn receiver_ref(&self) -> &BufReader<TcpStream> {
+        self.receiver.inner_ref()
+    }
+
+    fn call(&mut self, request: &Request, expected: &'static str) -> Result<Response, NetError> {
+        self.sender.send(&request.to_value())?;
+        let frame = self
+            .receiver
+            .recv()?
+            .ok_or_else(|| NetError::Io(std::io::Error::other("worker closed the connection")))?;
+        let response = Response::from_value(&frame)?;
+        match response {
+            Response::Error { code, message } => Err(NetError::Remote { code, message }),
+            other => {
+                let got = reply_name(&other);
+                if got == expected {
+                    Ok(other)
+                } else {
+                    Err(NetError::UnexpectedReply {
+                        expected,
+                        got: got.to_string(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Submits a shard spec; returns the worker-local job id.
+    ///
+    /// # Errors
+    ///
+    /// Any [`NetError`]; a full worker queue is
+    /// [`NetError::Remote`] with [`ErrorCode::Backpressure`].
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<u64, NetError> {
+        match self.call(&Request::Submit(spec.clone()), "submitted")? {
+            Response::Submitted { job } => Ok(job),
+            _ => unreachable!("call() checked the reply kind"),
+        }
+    }
+
+    /// Polls a job's lifecycle status.
+    ///
+    /// # Errors
+    ///
+    /// Any [`NetError`].
+    pub fn poll(&mut self, job: u64) -> Result<JobStatus, NetError> {
+        match self.call(&Request::Poll { job }, "status")? {
+            Response::Status { status, .. } => Ok(status),
+            _ => unreachable!("call() checked the reply kind"),
+        }
+    }
+
+    /// Fetches a terminal job's solutions (consumes the job on the
+    /// worker).
+    ///
+    /// # Errors
+    ///
+    /// Any [`NetError`]; a panicked solve is [`NetError::Remote`] with
+    /// [`ErrorCode::JobFailed`].
+    pub fn fetch(&mut self, job: u64) -> Result<Vec<WireSolution>, NetError> {
+        match self.call(&Request::Fetch { job }, "solutions")? {
+            Response::Solutions { solutions, .. } => Ok(solutions),
+            _ => unreachable!("call() checked the reply kind"),
+        }
+    }
+
+    /// Cancels / disposes a job at whatever stage it is in.
+    ///
+    /// # Errors
+    ///
+    /// Any [`NetError`].
+    pub fn cancel(&mut self, job: u64) -> Result<DisposeOutcome, NetError> {
+        match self.call(&Request::Cancel { job }, "cancelled")? {
+            Response::Cancelled { outcome, .. } => Ok(outcome),
+            _ => unreachable!("call() checked the reply kind"),
+        }
+    }
+
+    /// Polls until the job turns terminal, then fetches — the
+    /// blocking convenience for single-worker callers.
+    ///
+    /// # Errors
+    ///
+    /// Any [`NetError`].
+    pub fn wait_fetch(&mut self, job: u64) -> Result<Vec<WireSolution>, NetError> {
+        loop {
+            let status = self.poll(job)?;
+            if status.is_terminal() {
+                return self.fetch(job);
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+fn reply_name(response: &Response) -> &'static str {
+    match response {
+        Response::Submitted { .. } => "submitted",
+        Response::Status { .. } => "status",
+        Response::Solutions { .. } => "solutions",
+        Response::Cancelled { .. } => "cancelled",
+        Response::Error { .. } => "error",
+    }
+}

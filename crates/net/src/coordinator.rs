@@ -1,0 +1,289 @@
+//! The coordinator: splits a replica grid into shards, dispatches
+//! them to workers, retries failures on surviving workers, and merges
+//! the results bit-identically to a local run.
+//!
+//! Retry policy: a shard is re-dispatched (to the next surviving
+//! worker) whenever its attempt fails for any reason — transport
+//! death, a panicked solve, a refused spec — up to a per-shard
+//! attempt bound. A worker whose connection errors, or whose job
+//! fails, is dropped from the rotation (conservatively: a failing
+//! pool member is suspect). Because every spec carries its exact
+//! seeds, a retried shard recomputes byte-for-byte the same solutions,
+//! so retries are invisible in the merged result. When a shard's
+//! attempts are exhausted, the whole run fails with
+//! [`NetError::ShardExhausted`] — never a hang, never a partial
+//! merge.
+
+use std::time::Duration;
+
+use hycim_core::{merge_shards, replica_seed, Shard, ShardPlan};
+
+use crate::client::{NetError, WorkerClient};
+use crate::proto::{JobSpec, WireSolution};
+
+/// One unit of dispatch: a shard of the flat grid and the spec that
+/// computes exactly that shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardJob {
+    /// The flat-grid range this job covers.
+    pub shard: Shard,
+    /// The work: one solve per seed, in shard order (so
+    /// `spec.seeds.len() == shard.len()`).
+    pub spec: JobSpec,
+}
+
+/// Builds the shard jobs for one problem's replica column: replica
+/// `k` solves with `replica_seed(root_seed, problem_index, k)` — for
+/// `problem_index == 0` exactly the
+/// [`BatchRunner`](hycim_core::BatchRunner) derivation, which is what
+/// the bit-identity guarantee is stated against. Returns the grid
+/// total alongside the jobs.
+pub fn shard_replica_column(
+    base: &JobSpec,
+    replicas: usize,
+    root_seed: u64,
+    problem_index: u64,
+    shards: usize,
+) -> (usize, Vec<ShardJob>) {
+    let plan = ShardPlan::split(replicas, shards.max(1));
+    let jobs = plan
+        .shards()
+        .iter()
+        .map(|&shard| {
+            let mut spec = base.clone();
+            spec.seeds = shard
+                .indices()
+                .map(|k| replica_seed(root_seed, problem_index, k as u64))
+                .collect();
+            ShardJob { shard, spec }
+        })
+        .collect();
+    (plan.total(), jobs)
+}
+
+/// Dispatches shard jobs across a set of workers.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    addrs: Vec<String>,
+    max_attempts: usize,
+    poll_interval: Duration,
+}
+
+enum Slot {
+    /// Waiting for (re-)dispatch.
+    Todo { attempts: usize, last: String },
+    /// Submitted; `attempts` includes this one.
+    Pending {
+        worker: usize,
+        job: u64,
+        attempts: usize,
+    },
+    /// Fetched.
+    Done(Vec<WireSolution>),
+}
+
+impl Coordinator {
+    /// A coordinator over the given worker addresses. The default
+    /// attempt bound lets every shard try each worker once, plus one
+    /// retry.
+    pub fn new(addrs: Vec<String>) -> Self {
+        let max_attempts = addrs.len() + 1;
+        Self {
+            addrs,
+            max_attempts,
+            poll_interval: Duration::from_millis(2),
+        }
+    }
+
+    /// Overrides the per-shard attempt bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts == 0`.
+    pub fn with_max_attempts(mut self, max_attempts: usize) -> Self {
+        assert!(max_attempts > 0, "need at least one attempt");
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Runs a set of shard jobs to completion and merges their
+    /// results into flat-grid order.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::NoWorkers`] for an empty address list,
+    /// [`NetError::ShardExhausted`] when a shard runs out of retries
+    /// or surviving workers, [`NetError::Shard`] if the returned
+    /// pieces cannot cover the grid exactly once (a worker returning
+    /// the wrong count).
+    pub fn run(&self, total: usize, jobs: &[ShardJob]) -> Result<Vec<WireSolution>, NetError> {
+        if self.addrs.is_empty() {
+            return Err(NetError::NoWorkers);
+        }
+        let mut clients: Vec<Option<WorkerClient>> = self
+            .addrs
+            .iter()
+            .map(|addr| WorkerClient::connect(addr.as_str()).ok())
+            .collect();
+        let mut slots: Vec<Slot> = jobs
+            .iter()
+            .map(|_| Slot::Todo {
+                attempts: 0,
+                last: "never attempted".to_string(),
+            })
+            .collect();
+        let mut cursor = 0usize;
+
+        loop {
+            let mut progressed = false;
+
+            // Dispatch every waiting shard to the next surviving
+            // worker.
+            for i in 0..slots.len() {
+                let Slot::Todo { attempts, last } = &slots[i] else {
+                    continue;
+                };
+                let (attempts, last) = (*attempts, last.clone());
+                let shard = jobs[i].shard;
+                if attempts >= self.max_attempts {
+                    return Err(NetError::ShardExhausted {
+                        start: shard.start,
+                        end: shard.end,
+                        attempts,
+                        last,
+                    });
+                }
+                let Some(worker) = next_alive(&clients, &mut cursor) else {
+                    return Err(NetError::ShardExhausted {
+                        start: shard.start,
+                        end: shard.end,
+                        attempts,
+                        last: format!("no surviving workers (last error: {last})"),
+                    });
+                };
+                let submitted = clients[worker]
+                    .as_mut()
+                    .expect("next_alive returns live workers")
+                    .submit(&jobs[i].spec);
+                match submitted {
+                    Ok(job) => {
+                        slots[i] = Slot::Pending {
+                            worker,
+                            job,
+                            attempts: attempts + 1,
+                        };
+                        progressed = true;
+                    }
+                    Err(e) => {
+                        retire_worker(&mut clients, &mut slots, worker, &e.to_string());
+                        slots[i] = Slot::Todo {
+                            attempts: attempts + 1,
+                            last: e.to_string(),
+                        };
+                    }
+                }
+            }
+
+            // Poll every in-flight shard; fetch the finished ones.
+            for i in 0..slots.len() {
+                let (worker, job, attempts) = match &slots[i] {
+                    Slot::Pending {
+                        worker,
+                        job,
+                        attempts,
+                    } => (*worker, *job, *attempts),
+                    _ => continue,
+                };
+                let Some(client) = clients[worker].as_mut() else {
+                    // Its worker was retired this round; the retire
+                    // already requeued it.
+                    continue;
+                };
+                match client.poll(job) {
+                    Ok(status) if !status.is_terminal() => {}
+                    Ok(_) => match clients[worker].as_mut().expect("still live").fetch(job) {
+                        Ok(solutions) => {
+                            slots[i] = Slot::Done(solutions);
+                            progressed = true;
+                        }
+                        Err(e @ NetError::Remote { .. }) => {
+                            // The job itself failed (panicked solve,
+                            // refused spec): the worker is suspect —
+                            // retire it and retry elsewhere.
+                            retire_worker(&mut clients, &mut slots, worker, &e.to_string());
+                            slots[i] = Slot::Todo {
+                                attempts,
+                                last: e.to_string(),
+                            };
+                            progressed = true;
+                        }
+                        Err(e) => {
+                            retire_worker(&mut clients, &mut slots, worker, &e.to_string());
+                            progressed = true;
+                        }
+                    },
+                    Err(e) => {
+                        retire_worker(&mut clients, &mut slots, worker, &e.to_string());
+                        progressed = true;
+                    }
+                }
+            }
+
+            if slots.iter().all(|s| matches!(s, Slot::Done(_))) {
+                break;
+            }
+            if !progressed {
+                std::thread::sleep(self.poll_interval);
+            }
+        }
+
+        let parts: Vec<(Shard, Vec<WireSolution>)> = jobs
+            .iter()
+            .zip(slots)
+            .map(|(job, slot)| match slot {
+                Slot::Done(solutions) => (job.shard, solutions),
+                _ => unreachable!("loop exits only when every slot is done"),
+            })
+            .collect();
+        merge_shards(total, parts).map_err(NetError::Shard)
+    }
+}
+
+/// Advances the round-robin cursor to the next live worker.
+fn next_alive(clients: &[Option<WorkerClient>], cursor: &mut usize) -> Option<usize> {
+    for _ in 0..clients.len() {
+        let candidate = *cursor % clients.len();
+        *cursor = candidate + 1;
+        if clients[candidate].is_some() {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+/// Drops a worker from the rotation and requeues every shard that was
+/// pending on it (attempt counts preserved — the retry itself
+/// re-increments on dispatch).
+fn retire_worker(
+    clients: &mut [Option<WorkerClient>],
+    slots: &mut [Slot],
+    worker: usize,
+    reason: &str,
+) {
+    clients[worker] = None;
+    for slot in slots.iter_mut() {
+        if let Slot::Pending {
+            worker: w,
+            attempts,
+            ..
+        } = slot
+        {
+            if *w == worker {
+                *slot = Slot::Todo {
+                    attempts: *attempts,
+                    last: format!("worker retired: {reason}"),
+                };
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Wire protocol for distributed HyCiM solves: submit shards of a
+//! replica grid to TCP workers, merge the results **bit-identically**
+//! to a local run.
+//!
+//! The stack, bottom to top:
+//!
+//! * [`json`] — a hand-rolled JSON dialect (unsigned integers only;
+//!   floats travel as IEEE-754 bit images in hex, problems in their
+//!   canonical text form), so nothing on the wire can perturb a
+//!   result.
+//! * [`frame`] — one message per line, prefix-tagged with the
+//!   protocol version, byte-bounded per frame. Plain
+//!   `std::net::TcpStream`, no async runtime.
+//! * [`proto`] — the four verbs (`submit`, `poll`, `fetch`,
+//!   `cancel`), the [`JobSpec`] shard description, and the
+//!   [`WireSolution`] results.
+//! * [`worker`] — a [`WorkerServer`] bridging the verbs onto a
+//!   [`JobService`](hycim_service::JobService) pool, with
+//!   per-connection job disposal (a dropped coordinator never strands
+//!   jobs).
+//! * [`client`] / [`coordinator`] — the [`WorkerClient`] connection
+//!   and the [`Coordinator`] that plans shards
+//!   ([`ShardPlan`](hycim_core::ShardPlan)), dispatches them with
+//!   pre-derived [`replica_seed`](hycim_core::replica_seed)s, retries
+//!   failures on surviving workers, and merges with
+//!   [`merge_shards`](hycim_core::merge_shards).
+//!
+//! Determinism contract: every spec carries its exact solve seeds and
+//! the instance's hardware seed; workers derive nothing. A sharded
+//! run over any number of workers — including retries after faults —
+//! merges to the byte-for-byte result of
+//! [`BatchRunner`](hycim_core::BatchRunner) on one thread.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod coordinator;
+pub mod frame;
+pub mod json;
+pub mod proto;
+pub mod worker;
+
+pub use client::{NetError, WorkerClient};
+pub use coordinator::{shard_replica_column, Coordinator, ShardJob};
+pub use frame::{FrameError, MessageReceiver, MessageSender, FRAME_PREFIX};
+pub use proto::{ErrorCode, JobSpec, ProtoError, Request, Response, WireSolution};
+pub use worker::{WorkerConfig, WorkerFault, WorkerHandle, WorkerServer};

@@ -1,0 +1,647 @@
+//! The protocol messages: four request verbs (`submit`, `poll`,
+//! `fetch`, `cancel`), their responses, and the typed payloads — a
+//! [`JobSpec`] describing one shard of solves and the
+//! [`WireSolution`]s coming back.
+//!
+//! Seeding contract: a spec carries its solve seeds **explicitly**
+//! (the coordinator derives them with
+//! [`replica_seed`](hycim_core::replica_seed) before dispatch), plus
+//! the instance's hardware seed. A worker therefore has zero seed
+//! derivation of its own — retrying a shard on a different worker
+//! reruns byte-for-byte the same computation, which is what makes the
+//! merged result independent of scheduling, retries, and worker
+//! count.
+//!
+//! Exactness contract: every `f64` travels as the 16-hex-digit image
+//! of its IEEE-754 bits ([`hycim_qubo::wire`]); problems travel in
+//! their canonical [`AnyProblem`] text form. Nothing on the wire is
+//! ever formatted as decimal floating point.
+
+use std::fmt;
+
+use hycim_cop::{AnyProblem, CopError};
+use hycim_core::{EngineKind, EngineSettings, Solution};
+use hycim_qubo::wire::{decode_f64, encode_f64};
+use hycim_qubo::Assignment;
+use hycim_service::{DisposeOutcome, JobStatus};
+
+use crate::json::Value;
+
+/// A message that decodes structurally but violates the protocol
+/// (missing field, wrong type, unknown verb or tag).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// What was wrong.
+    pub message: String,
+}
+
+impl ProtoError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, ProtoError> {
+    v.get(key)
+        .ok_or_else(|| ProtoError::new(format!("missing field \"{key}\"")))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, ProtoError> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| ProtoError::new(format!("field \"{key}\" must be an unsigned integer")))
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str, ProtoError> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| ProtoError::new(format!("field \"{key}\" must be a string")))
+}
+
+fn bool_field(v: &Value, key: &str) -> Result<bool, ProtoError> {
+    field(v, key)?
+        .as_bool()
+        .ok_or_else(|| ProtoError::new(format!("field \"{key}\" must be a bool")))
+}
+
+fn f64_field(v: &Value, key: &str) -> Result<f64, ProtoError> {
+    let text = str_field(v, key)?;
+    decode_f64(text)
+        .ok_or_else(|| ProtoError::new(format!("field \"{key}\" is not a hex-encoded f64")))
+}
+
+/// One shard of work: solve `problem` on `engine` once per entry of
+/// `seeds`, in order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Family tag of [`problem`](Self::problem) (see
+    /// [`AnyProblem::family_tag`]).
+    pub family: String,
+    /// The instance in canonical [`AnyProblem`] wire text.
+    pub problem: String,
+    /// Engine backend tag (see [`EngineKind::tag`]).
+    pub engine: String,
+    /// Annealing sweep budget per solve.
+    pub sweeps: u64,
+    /// Hardware-noise seed for the engine construction.
+    pub hardware_seed: u64,
+    /// Whether the engine records an energy trace (required for
+    /// `iters_to_best`; costs memory proportional to sweeps).
+    pub record_trace: bool,
+    /// The exact solve seed of each replica in this shard, in shard
+    /// order — pre-derived by the coordinator, never recomputed by the
+    /// worker.
+    pub seeds: Vec<u64>,
+}
+
+impl JobSpec {
+    /// Reconstructs the problem instance from the wire text.
+    ///
+    /// # Errors
+    ///
+    /// The [`CopError`] of the canonical-form parser.
+    pub fn decode_problem(&self) -> Result<AnyProblem, CopError> {
+        AnyProblem::from_wire(&self.family, &self.problem)
+    }
+
+    /// Resolves the engine tag.
+    ///
+    /// # Errors
+    ///
+    /// Names the unknown tag.
+    pub fn engine_kind(&self) -> Result<EngineKind, ProtoError> {
+        EngineKind::from_tag(&self.engine)
+            .ok_or_else(|| ProtoError::new(format!("unknown engine tag \"{}\"", self.engine)))
+    }
+
+    /// The engine settings this spec pins.
+    pub fn settings(&self) -> EngineSettings {
+        let mut s = EngineSettings::new(self.sweeps as usize, self.hardware_seed);
+        s.record_trace = self.record_trace;
+        s
+    }
+
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("family", Value::Str(self.family.clone())),
+            ("problem", Value::Str(self.problem.clone())),
+            ("engine", Value::Str(self.engine.clone())),
+            ("sweeps", Value::UInt(self.sweeps)),
+            ("hardware_seed", Value::UInt(self.hardware_seed)),
+            ("record_trace", Value::Bool(self.record_trace)),
+            (
+                "seeds",
+                Value::Array(self.seeds.iter().map(|&s| Value::UInt(s)).collect()),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, ProtoError> {
+        let seeds = field(v, "seeds")?
+            .as_array()
+            .ok_or_else(|| ProtoError::new("field \"seeds\" must be an array"))?
+            .iter()
+            .map(|s| {
+                s.as_u64()
+                    .ok_or_else(|| ProtoError::new("seeds must be unsigned integers"))
+            })
+            .collect::<Result<Vec<u64>, _>>()?;
+        Ok(JobSpec {
+            family: str_field(v, "family")?.to_string(),
+            problem: str_field(v, "problem")?.to_string(),
+            engine: str_field(v, "engine")?.to_string(),
+            sweeps: u64_field(v, "sweeps")?,
+            hardware_seed: u64_field(v, "hardware_seed")?,
+            record_trace: bool_field(v, "record_trace")?,
+            seeds,
+        })
+    }
+}
+
+/// One solve result in transportable form. Equality is **bitwise** on
+/// the float fields (NaN equals NaN with the same payload, `-0.0`
+/// differs from `0.0`), matching the protocol's exactness contract.
+#[derive(Debug, Clone)]
+pub struct WireSolution {
+    /// The best configuration, as a `0`/`1` bit string in the
+    /// problem's own variable space.
+    pub assignment: String,
+    /// Domain objective (lower is better).
+    pub objective: f64,
+    /// Energy as reported by the (noisy) hardware model.
+    pub reported_energy: f64,
+    /// Domain feasibility of the assignment.
+    pub feasible: bool,
+    /// Annealing iterations until the best energy was first touched.
+    pub iters_to_best: u64,
+    /// Total annealing iterations recorded by the trace.
+    pub iterations: u64,
+}
+
+impl PartialEq for WireSolution {
+    fn eq(&self, other: &Self) -> bool {
+        self.assignment == other.assignment
+            && self.objective.to_bits() == other.objective.to_bits()
+            && self.reported_energy.to_bits() == other.reported_energy.to_bits()
+            && self.feasible == other.feasible
+            && self.iters_to_best == other.iters_to_best
+            && self.iterations == other.iterations
+    }
+}
+
+impl Eq for WireSolution {}
+
+impl WireSolution {
+    /// Extracts the transportable fields of an engine solution.
+    pub fn from_solution<P: hycim_cop::CopProblem>(s: &Solution<P>) -> Self {
+        WireSolution {
+            assignment: s.assignment.to_bit_string(),
+            objective: s.objective,
+            reported_energy: s.reported_energy,
+            feasible: s.feasible,
+            iters_to_best: s.trace.iters_to_best() as u64,
+            iterations: s.trace.iterations() as u64,
+        }
+    }
+
+    /// The stack's success criterion applied to the transported
+    /// fields — delegates to
+    /// [`objective_success`](hycim_core::objective_success), so wire
+    /// and local scoring share one formula.
+    pub fn objective_success(&self, reference: f64) -> bool {
+        hycim_core::objective_success(self.objective, self.feasible, reference)
+    }
+
+    /// Parses the assignment bit string back into an [`Assignment`].
+    ///
+    /// # Errors
+    ///
+    /// Names the malformed string.
+    pub fn decode_assignment(&self) -> Result<Assignment, ProtoError> {
+        Assignment::parse_bit_string(&self.assignment)
+            .ok_or_else(|| ProtoError::new(format!("malformed bit string \"{}\"", self.assignment)))
+    }
+
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("assignment", Value::Str(self.assignment.clone())),
+            ("objective", Value::Str(encode_f64(self.objective))),
+            (
+                "reported_energy",
+                Value::Str(encode_f64(self.reported_energy)),
+            ),
+            ("feasible", Value::Bool(self.feasible)),
+            ("iters_to_best", Value::UInt(self.iters_to_best)),
+            ("iterations", Value::UInt(self.iterations)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<Self, ProtoError> {
+        let assignment = str_field(v, "assignment")?;
+        if !assignment.bytes().all(|b| b == b'0' || b == b'1') {
+            return Err(ProtoError::new("assignment must be a 0/1 bit string"));
+        }
+        Ok(WireSolution {
+            assignment: assignment.to_string(),
+            objective: f64_field(v, "objective")?,
+            reported_energy: f64_field(v, "reported_energy")?,
+            feasible: bool_field(v, "feasible")?,
+            iters_to_best: u64_field(v, "iters_to_best")?,
+            iterations: u64_field(v, "iterations")?,
+        })
+    }
+}
+
+/// A request frame: one of the four verbs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a shard of solves; answered by
+    /// [`Response::Submitted`] or [`Response::Error`].
+    Submit(JobSpec),
+    /// Ask a job's lifecycle status.
+    Poll {
+        /// The job id from [`Response::Submitted`].
+        job: u64,
+    },
+    /// Take a terminal job's solutions (consumes the entry).
+    Fetch {
+        /// The job id from [`Response::Submitted`].
+        job: u64,
+    },
+    /// Cancel or dispose of a job at any lifecycle stage.
+    Cancel {
+        /// The job id from [`Response::Submitted`].
+        job: u64,
+    },
+}
+
+impl Request {
+    /// Encodes to a frame payload.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Request::Submit(spec) => Value::object(vec![
+                ("verb", Value::Str("submit".into())),
+                ("spec", spec.to_value()),
+            ]),
+            Request::Poll { job } => Value::object(vec![
+                ("verb", Value::Str("poll".into())),
+                ("job", Value::UInt(*job)),
+            ]),
+            Request::Fetch { job } => Value::object(vec![
+                ("verb", Value::Str("fetch".into())),
+                ("job", Value::UInt(*job)),
+            ]),
+            Request::Cancel { job } => Value::object(vec![
+                ("verb", Value::Str("cancel".into())),
+                ("job", Value::UInt(*job)),
+            ]),
+        }
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// A [`ProtoError`] naming the violation (unknown verbs included).
+    pub fn from_value(v: &Value) -> Result<Self, ProtoError> {
+        match str_field(v, "verb")? {
+            "submit" => Ok(Request::Submit(JobSpec::from_value(field(v, "spec")?)?)),
+            "poll" => Ok(Request::Poll {
+                job: u64_field(v, "job")?,
+            }),
+            "fetch" => Ok(Request::Fetch {
+                job: u64_field(v, "job")?,
+            }),
+            "cancel" => Ok(Request::Cancel {
+                job: u64_field(v, "job")?,
+            }),
+            other => Err(ProtoError::new(format!("unknown verb \"{other}\""))),
+        }
+    }
+}
+
+/// Machine-readable category of a [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request was malformed (bad spec, unparsable problem,
+    /// unknown engine tag, unknown verb).
+    BadRequest,
+    /// The job id is not tracked (never submitted, already fetched or
+    /// disposed).
+    UnknownJob,
+    /// A fetch arrived before the job turned terminal.
+    NotFinished,
+    /// The fetched job had been cancelled; its entry is now disposed.
+    JobCancelled,
+    /// The job's solve panicked on the worker; the message carries the
+    /// panic text. Its entry is now disposed.
+    JobFailed,
+    /// The worker's queue is full; resubmit later or elsewhere.
+    Backpressure,
+    /// Anything else (the worker is shutting down, an internal
+    /// invariant failed).
+    Internal,
+}
+
+impl ErrorCode {
+    /// All codes, for table-driven tests.
+    pub const ALL: [ErrorCode; 7] = [
+        ErrorCode::BadRequest,
+        ErrorCode::UnknownJob,
+        ErrorCode::NotFinished,
+        ErrorCode::JobCancelled,
+        ErrorCode::JobFailed,
+        ErrorCode::Backpressure,
+        ErrorCode::Internal,
+    ];
+
+    /// Stable wire tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownJob => "unknown_job",
+            ErrorCode::NotFinished => "not_finished",
+            ErrorCode::JobCancelled => "job_cancelled",
+            ErrorCode::JobFailed => "job_failed",
+            ErrorCode::Backpressure => "backpressure",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a [`tag`](Self::tag).
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.tag() == tag)
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// A response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The shard was accepted and queued.
+    Submitted {
+        /// Worker-local job id; scope is the worker connection's
+        /// service, not global.
+        job: u64,
+    },
+    /// The job's current lifecycle status.
+    Status {
+        /// The polled job.
+        job: u64,
+        /// Its status.
+        status: JobStatus,
+    },
+    /// The job's solutions, in shard (seed) order.
+    Solutions {
+        /// The fetched job.
+        job: u64,
+        /// One solution per seed of the submitted spec.
+        solutions: Vec<WireSolution>,
+    },
+    /// The outcome of a cancel.
+    Cancelled {
+        /// The cancelled job.
+        job: u64,
+        /// What the disposal found.
+        outcome: DisposeOutcome,
+    },
+    /// The request failed; the verb had no effect beyond what
+    /// `code` documents.
+    Error {
+        /// Machine-readable category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encodes to a frame payload.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Response::Submitted { job } => Value::object(vec![
+                ("reply", Value::Str("submitted".into())),
+                ("job", Value::UInt(*job)),
+            ]),
+            Response::Status { job, status } => Value::object(vec![
+                ("reply", Value::Str("status".into())),
+                ("job", Value::UInt(*job)),
+                ("status", Value::Str(status.tag().into())),
+            ]),
+            Response::Solutions { job, solutions } => Value::object(vec![
+                ("reply", Value::Str("solutions".into())),
+                ("job", Value::UInt(*job)),
+                (
+                    "solutions",
+                    Value::Array(solutions.iter().map(WireSolution::to_value).collect()),
+                ),
+            ]),
+            Response::Cancelled { job, outcome } => Value::object(vec![
+                ("reply", Value::Str("cancelled".into())),
+                ("job", Value::UInt(*job)),
+                ("outcome", Value::Str(outcome.tag().into())),
+            ]),
+            Response::Error { code, message } => Value::object(vec![
+                ("reply", Value::Str("error".into())),
+                ("code", Value::Str(code.tag().into())),
+                ("message", Value::Str(message.clone())),
+            ]),
+        }
+    }
+
+    /// Decodes a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// A [`ProtoError`] naming the violation.
+    pub fn from_value(v: &Value) -> Result<Self, ProtoError> {
+        match str_field(v, "reply")? {
+            "submitted" => Ok(Response::Submitted {
+                job: u64_field(v, "job")?,
+            }),
+            "status" => {
+                let tag = str_field(v, "status")?;
+                Ok(Response::Status {
+                    job: u64_field(v, "job")?,
+                    status: JobStatus::from_tag(tag)
+                        .ok_or_else(|| ProtoError::new(format!("unknown status tag \"{tag}\"")))?,
+                })
+            }
+            "solutions" => {
+                let solutions = field(v, "solutions")?
+                    .as_array()
+                    .ok_or_else(|| ProtoError::new("field \"solutions\" must be an array"))?
+                    .iter()
+                    .map(WireSolution::from_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::Solutions {
+                    job: u64_field(v, "job")?,
+                    solutions,
+                })
+            }
+            "cancelled" => {
+                let tag = str_field(v, "outcome")?;
+                Ok(Response::Cancelled {
+                    job: u64_field(v, "job")?,
+                    outcome: DisposeOutcome::from_tag(tag)
+                        .ok_or_else(|| ProtoError::new(format!("unknown outcome tag \"{tag}\"")))?,
+                })
+            }
+            "error" => {
+                let tag = str_field(v, "code")?;
+                Ok(Response::Error {
+                    code: ErrorCode::from_tag(tag)
+                        .ok_or_else(|| ProtoError::new(format!("unknown error code \"{tag}\"")))?,
+                    message: str_field(v, "message")?.to_string(),
+                })
+            }
+            other => Err(ProtoError::new(format!("unknown reply \"{other}\""))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> JobSpec {
+        JobSpec {
+            family: "maxcut".into(),
+            problem: "3 2\n0 1 1\n1 2 2\n".into(),
+            engine: "hycim".into(),
+            sweeps: 50,
+            hardware_seed: 9,
+            record_trace: true,
+            seeds: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Submit(sample_spec()),
+            Request::Poll { job: 0 },
+            Request::Fetch { job: u64::MAX },
+            Request::Cancel { job: 7 },
+        ] {
+            let v = Value::parse(&req.to_value().encode()).unwrap();
+            assert_eq!(Request::from_value(&v).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let solution = WireSolution {
+            assignment: "0110".into(),
+            objective: -12.5,
+            reported_energy: f64::NEG_INFINITY,
+            feasible: true,
+            iters_to_best: 17,
+            iterations: 200,
+        };
+        for resp in [
+            Response::Submitted { job: 3 },
+            Response::Status {
+                job: 3,
+                status: JobStatus::Running,
+            },
+            Response::Solutions {
+                job: 3,
+                solutions: vec![solution],
+            },
+            Response::Cancelled {
+                job: 3,
+                outcome: DisposeOutcome::Deferred,
+            },
+            Response::Error {
+                code: ErrorCode::Backpressure,
+                message: "queue full".into(),
+            },
+        ] {
+            let v = Value::parse(&resp.to_value().encode()).unwrap();
+            assert_eq!(Response::from_value(&v).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn spec_helpers_resolve() {
+        let spec = sample_spec();
+        let problem = spec.decode_problem().unwrap();
+        assert_eq!(problem.family_tag(), "maxcut");
+        assert_eq!(spec.engine_kind().unwrap().tag(), "hycim");
+        let settings = spec.settings();
+        assert_eq!(settings.sweeps, 50);
+        assert_eq!(settings.hardware_seed, 9);
+        assert!(settings.record_trace);
+    }
+
+    #[test]
+    fn violations_are_named() {
+        let unknown_verb = Value::object(vec![("verb", Value::Str("steal".into()))]);
+        assert!(Request::from_value(&unknown_verb)
+            .unwrap_err()
+            .message
+            .contains("unknown verb \"steal\""));
+
+        let missing = Value::object(vec![("verb", Value::Str("poll".into()))]);
+        assert!(Request::from_value(&missing)
+            .unwrap_err()
+            .message
+            .contains("missing field \"job\""));
+
+        let bad_float = Value::object(vec![
+            ("assignment", Value::Str("01".into())),
+            ("objective", Value::Str("not-hex".into())),
+        ]);
+        assert!(WireSolution::from_value(&bad_float)
+            .unwrap_err()
+            .message
+            .contains("hex-encoded"));
+
+        let bad_bits = Value::object(vec![("assignment", Value::Str("012".into()))]);
+        assert!(WireSolution::from_value(&bad_bits)
+            .unwrap_err()
+            .message
+            .contains("bit string"));
+    }
+
+    #[test]
+    fn error_codes_round_trip() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::from_tag(code.tag()), Some(code));
+            assert_eq!(code.to_string(), code.tag());
+        }
+        assert_eq!(ErrorCode::from_tag("nope"), None);
+    }
+
+    #[test]
+    fn wire_solution_equality_is_bitwise() {
+        let mut a = WireSolution {
+            assignment: "1".into(),
+            objective: 0.0,
+            reported_energy: f64::NAN,
+            feasible: false,
+            iters_to_best: 0,
+            iterations: 0,
+        };
+        let b = a.clone();
+        assert_eq!(a, b, "NaN equals its own bits");
+        a.objective = -0.0;
+        assert_ne!(a, b, "-0.0 differs from 0.0 bitwise");
+    }
+}

@@ -1,0 +1,431 @@
+//! The worker side: a TCP server answering protocol requests by
+//! bridging them onto a [`JobService`] worker pool.
+//!
+//! Job ownership is per-connection: every job a connection submits is
+//! tracked, and when the connection ends — cleanly or by a mid-job
+//! drop — every job it still owns is disposed through
+//! [`JobService::dispose`]. A coordinator crash therefore never
+//! strands results on a worker; the job table drains back to empty.
+
+use std::collections::HashSet;
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use hycim_cop::{AnyProblem, CopProblem};
+use hycim_service::{DisposeOutcome, JobId, JobService, ServiceConfig, SubmitError};
+
+use crate::frame::{FrameError, MessageReceiver, MessageSender, DEFAULT_MAX_FRAME};
+use crate::proto::{ErrorCode, JobSpec, Request, Response, WireSolution};
+
+/// Deliberate misbehavior for the fault-injection tests — compiled in
+/// unconditionally (it is inert unless configured) so the test suite
+/// exercises the exact production server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// The `n`-th accepted submit (0-based, across all connections)
+    /// panics on its worker thread instead of solving — the "worker
+    /// died mid-shard" scenario. The pool survives; the job turns
+    /// `Failed`.
+    PanicOnSubmit(usize),
+}
+
+/// Sizing and behavior of a [`WorkerServer`].
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Solve threads in the underlying [`JobService`] pool.
+    pub threads: usize,
+    /// Bound on queued (not yet running) jobs.
+    pub queue_capacity: usize,
+    /// Per-frame byte bound for incoming requests.
+    pub max_frame: usize,
+    /// Optional injected fault (tests only; `None` in production).
+    pub fault: Option<WorkerFault>,
+}
+
+impl WorkerConfig {
+    /// Defaults: 2 solve threads, 1024-job queue, the frame layer's
+    /// default byte bound, no fault.
+    pub fn new() -> Self {
+        Self {
+            threads: 2,
+            queue_capacity: 1024,
+            max_frame: DEFAULT_MAX_FRAME,
+            fault: None,
+        }
+    }
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct WorkerShared {
+    service: JobService,
+    stop: AtomicBool,
+    submits: AtomicUsize,
+    fault: Option<WorkerFault>,
+    max_frame: usize,
+    /// Live connection streams, for unblocking reads on stop.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A bound (not yet serving) protocol server.
+pub struct WorkerServer {
+    listener: TcpListener,
+    shared: Arc<WorkerShared>,
+}
+
+impl WorkerServer {
+    /// Binds the listening socket (use port 0 for an ephemeral port)
+    /// and starts the solve pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: impl ToSocketAddrs, config: WorkerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let service = JobService::start(
+            ServiceConfig::new()
+                .with_workers(config.threads)
+                .with_queue_capacity(config.queue_capacity),
+        );
+        Ok(Self {
+            listener,
+            shared: Arc::new(WorkerShared {
+                service,
+                stop: AtomicBool::new(false),
+                submits: AtomicUsize::new(0),
+                fault: config.fault,
+                max_frame: config.max_frame,
+                conns: Mutex::new(Vec::new()),
+            }),
+        })
+    }
+
+    /// The bound address (the resolved port when bound to port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves connections on the calling thread until the process
+    /// exits — the entry point of the `hycim-worker` binary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures.
+    pub fn serve(self) -> std::io::Result<()> {
+        accept_loop(&self.listener, &self.shared)
+    }
+
+    /// Serves connections on a background thread and returns a handle
+    /// for inspection and orderly shutdown — the entry point of the
+    /// in-process tests.
+    pub fn spawn(self) -> WorkerHandle {
+        let addr = self.local_addr().expect("bound listener has an address");
+        let shared = Arc::clone(&self.shared);
+        let listener = self.listener;
+        let accept = std::thread::Builder::new()
+            .name(format!("hycim-net-accept-{}", addr.port()))
+            .spawn(move || {
+                let _ = accept_loop(&listener, &shared);
+            })
+            .expect("spawn accept thread");
+        WorkerHandle {
+            addr,
+            shared: self.shared,
+            accept: Some(accept),
+        }
+    }
+}
+
+/// Handle of a [spawned](WorkerServer::spawn) worker.
+pub struct WorkerHandle {
+    addr: SocketAddr,
+    shared: Arc<WorkerShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl WorkerHandle {
+    /// The worker's listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Jobs the worker's service is currently tracking — drains to 0
+    /// once every owning connection has fetched, cancelled, or
+    /// disconnected (the leak assertion of the protocol tests).
+    pub fn live_jobs(&self) -> usize {
+        self.shared.service.live_jobs()
+    }
+
+    /// Stops accepting, severs live connections, and joins the accept
+    /// thread. Jobs already running finish on the pool (dropped via
+    /// their connections' disposal) before the handle returns.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Poke the accept loop so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        // Sever every live connection to unblock its reader thread.
+        for stream in self.shared.conns.lock().expect("conn list lock").drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WorkerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<WorkerShared>) -> std::io::Result<()> {
+    loop {
+        let (stream, _) = listener.accept()?;
+        if shared.stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().expect("conn list lock").push(clone);
+        }
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("hycim-net-conn".to_string())
+            .spawn(move || handle_connection(stream, &shared));
+    }
+}
+
+/// Serves one connection: a strict request → response loop. Malformed
+/// frames that leave the stream synchronized (valid line, bad
+/// content) get an error response; anything that desynchronizes or
+/// ends the stream closes the connection. Either way, every job the
+/// connection still owns is disposed on the way out.
+fn handle_connection(stream: TcpStream, shared: &WorkerShared) {
+    let mut owned: HashSet<u64> = HashSet::new();
+    // The accept loop holds a clone of this socket (for stop-time
+    // severing), so dropping our handles alone would not send FIN;
+    // shut the socket down explicitly on the way out so peers waiting
+    // on EOF observe the close.
+    let teardown = stream.try_clone().ok();
+    let reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    let mut receiver = MessageReceiver::with_max_frame(reader, shared.max_frame);
+    let mut sender = MessageSender::new(stream);
+    loop {
+        match receiver.recv() {
+            Ok(None) => break,
+            Ok(Some(frame)) => {
+                let response = match Request::from_value(&frame) {
+                    Ok(request) => handle_request(request, shared, &mut owned),
+                    Err(e) => Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: e.to_string(),
+                    },
+                };
+                if sender.send(&response.to_value()).is_err() {
+                    break;
+                }
+            }
+            // A well-formed line with an invalid payload: the stream
+            // is still synchronized, answer and keep serving.
+            Err(FrameError::Json(e)) => {
+                let response = Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
+                };
+                if sender.send(&response.to_value()).is_err() {
+                    break;
+                }
+            }
+            // Desynchronized or dead stream: answer best-effort where
+            // a write may still land, then drop the connection.
+            Err(e @ (FrameError::BadPrefix { .. } | FrameError::Oversized { .. })) => {
+                let response = Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
+                };
+                let _ = sender.send(&response.to_value());
+                break;
+            }
+            Err(FrameError::Io(_) | FrameError::Truncated { .. }) => break,
+        }
+    }
+    for id in owned {
+        shared.service.dispose(JobId::from_raw(id));
+    }
+    if let Some(socket) = teardown {
+        let _ = socket.shutdown(Shutdown::Both);
+    }
+}
+
+fn handle_request(request: Request, shared: &WorkerShared, owned: &mut HashSet<u64>) -> Response {
+    match request {
+        Request::Submit(spec) => submit(spec, shared, owned),
+        Request::Poll { job } => match shared.service.status(JobId::from_raw(job)) {
+            Some(status) => Response::Status { job, status },
+            None => Response::Error {
+                code: ErrorCode::UnknownJob,
+                message: format!("job {job} is not tracked"),
+            },
+        },
+        Request::Fetch { job } => fetch(job, shared, owned),
+        Request::Cancel { job } => {
+            let outcome = shared.service.dispose(JobId::from_raw(job));
+            if outcome != DisposeOutcome::Unknown {
+                owned.remove(&job);
+            }
+            Response::Cancelled { job, outcome }
+        }
+    }
+}
+
+fn submit(spec: JobSpec, shared: &WorkerShared, owned: &mut HashSet<u64>) -> Response {
+    // Validate everything the worker can check synchronously, so bad
+    // specs fail the submit instead of a later fetch.
+    let kind = match spec.engine_kind() {
+        Ok(kind) => kind,
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::BadRequest,
+                message: e.to_string(),
+            }
+        }
+    };
+    let problem = match spec.decode_problem() {
+        Ok(problem) => problem,
+        Err(e) => {
+            return Response::Error {
+                code: ErrorCode::BadRequest,
+                message: format!("problem does not parse: {e}"),
+            }
+        }
+    };
+    let settings = spec.settings();
+    let seeds = spec.seeds;
+    let sequence = shared.submits.fetch_add(1, Ordering::SeqCst);
+    let inject_panic = shared.fault == Some(WorkerFault::PanicOnSubmit(sequence));
+    let submitted = shared
+        .service
+        .submit_with(move || -> Result<Vec<WireSolution>, String> {
+            if inject_panic {
+                panic!("injected worker fault: submit {sequence} dies mid-shard");
+            }
+            solve_any(&problem, kind, &settings, &seeds)
+        });
+    match submitted {
+        Ok(id) => {
+            owned.insert(id.raw());
+            Response::Submitted { job: id.raw() }
+        }
+        Err(e @ SubmitError::QueueFull { .. }) => Response::Error {
+            code: ErrorCode::Backpressure,
+            message: e.to_string(),
+        },
+        Err(e) => Response::Error {
+            code: ErrorCode::Internal,
+            message: e.to_string(),
+        },
+    }
+}
+
+fn fetch(job: u64, shared: &WorkerShared, owned: &mut HashSet<u64>) -> Response {
+    use hycim_service::FetchError;
+    match shared
+        .service
+        .fetch_value::<Result<Vec<WireSolution>, String>>(JobId::from_raw(job))
+    {
+        Ok(Ok(solutions)) => {
+            owned.remove(&job);
+            Response::Solutions { job, solutions }
+        }
+        Ok(Err(message)) => {
+            // The spec validated but the engine refused the instance
+            // (an encoding limit); the entry is consumed.
+            owned.remove(&job);
+            Response::Error {
+                code: ErrorCode::JobFailed,
+                message,
+            }
+        }
+        Err(FetchError::NotFinished(status)) => Response::Error {
+            code: ErrorCode::NotFinished,
+            message: format!("job {job} is still {status}"),
+        },
+        Err(FetchError::Cancelled(_)) => {
+            owned.remove(&job);
+            Response::Error {
+                code: ErrorCode::JobCancelled,
+                message: format!("job {job} was cancelled"),
+            }
+        }
+        Err(FetchError::Failed { message, .. }) => {
+            owned.remove(&job);
+            Response::Error {
+                code: ErrorCode::JobFailed,
+                message,
+            }
+        }
+        Err(FetchError::Unknown(_)) => Response::Error {
+            code: ErrorCode::UnknownJob,
+            message: format!("job {job} is not tracked"),
+        },
+        Err(e) => Response::Error {
+            code: ErrorCode::Internal,
+            message: e.to_string(),
+        },
+    }
+}
+
+/// Solves every seed of a spec against its reconstructed problem —
+/// the worker-side computation, dispatched over the family enum (the
+/// engine is built on the solve thread, so trait objects never cross
+/// threads).
+fn solve_any(
+    problem: &AnyProblem,
+    kind: hycim_core::EngineKind,
+    settings: &hycim_core::EngineSettings,
+    seeds: &[u64],
+) -> Result<Vec<WireSolution>, String> {
+    match problem {
+        AnyProblem::Qkp(p) => solve_typed(p, kind, settings, seeds),
+        AnyProblem::Knapsack(p) => solve_typed(p, kind, settings, seeds),
+        AnyProblem::MaxCut(p) => solve_typed(p, kind, settings, seeds),
+        AnyProblem::SpinGlass(p) => solve_typed(p, kind, settings, seeds),
+        AnyProblem::Tsp(p) => solve_typed(p, kind, settings, seeds),
+        AnyProblem::Coloring(p) => solve_typed(p, kind, settings, seeds),
+        AnyProblem::BinPack(p) => solve_typed(p, kind, settings, seeds),
+        AnyProblem::Mkp(p) => solve_typed(p, kind, settings, seeds),
+    }
+}
+
+fn solve_typed<P: CopProblem + 'static>(
+    problem: &P,
+    kind: hycim_core::EngineKind,
+    settings: &hycim_core::EngineSettings,
+    seeds: &[u64],
+) -> Result<Vec<WireSolution>, String> {
+    let engine = kind.build(problem, settings).map_err(|e| e.to_string())?;
+    Ok(seeds
+        .iter()
+        .map(|&seed| WireSolution::from_solution(&engine.solve(seed)))
+        .collect())
+}

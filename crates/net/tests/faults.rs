@@ -1,0 +1,307 @@
+//! Fault injection against the live wire: every misbehavior ends in a
+//! typed error or a successful retry — never a hang, never a
+//! corrupted merge, never a leaked job.
+//!
+//! Covered faults: truncated frames, oversized frames, wrong-protocol
+//! peers, unknown verbs, malformed JSON, bad specs, mid-job
+//! connection drops, a worker panicking mid-shard (reassigned to the
+//! surviving worker, bit-identically), and runs with no reachable
+//! workers at all.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use hycim_cop::maxcut::MaxCut;
+use hycim_cop::AnyProblem;
+use hycim_core::{BatchRunner, EngineKind, EngineSettings};
+use hycim_net::{
+    shard_replica_column, Coordinator, ErrorCode, FrameError, JobSpec, MessageReceiver,
+    MessageSender, NetError, Request, Response, WireSolution, WorkerClient, WorkerConfig,
+    WorkerFault, WorkerHandle, WorkerServer,
+};
+
+fn spawn_worker(config: WorkerConfig) -> WorkerHandle {
+    WorkerServer::bind("127.0.0.1:0", config)
+        .expect("bind loopback")
+        .spawn()
+}
+
+fn problem() -> MaxCut {
+    MaxCut::random(10, 0.5, 9)
+}
+
+fn spec_for(p: &MaxCut, seeds: Vec<u64>) -> JobSpec {
+    let any = AnyProblem::from(p.clone());
+    JobSpec {
+        family: any.family_tag().to_string(),
+        problem: any.to_wire(),
+        engine: "software".to_string(),
+        sweeps: 40,
+        hardware_seed: 2,
+        record_trace: true,
+        seeds,
+    }
+}
+
+/// Waits (bounded) for a worker's job table to drain.
+fn assert_drains(handle: &WorkerHandle) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.live_jobs() > 0 {
+        assert!(Instant::now() < deadline, "worker leaked jobs");
+        std::thread::yield_now();
+    }
+}
+
+/// A raw protocol connection: hand-written bytes out, one persistent
+/// framed receiver in (so no read-ahead is lost between responses).
+struct RawConn {
+    stream: TcpStream,
+    receiver: MessageReceiver<BufReader<TcpStream>>,
+}
+
+impl RawConn {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let receiver = MessageReceiver::new(BufReader::new(
+            stream.try_clone().expect("clone for reading"),
+        ));
+        Self { stream, receiver }
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.stream.write_all(bytes).expect("write");
+    }
+
+    fn send(&mut self, request: &Request) {
+        MessageSender::new(&self.stream)
+            .send(&request.to_value())
+            .expect("send");
+    }
+
+    fn recv(&mut self) -> Result<Option<Response>, FrameError> {
+        Ok(self
+            .receiver
+            .recv()?
+            .map(|frame| Response::from_value(&frame).expect("worker speaks the protocol")))
+    }
+
+    fn expect_error(&mut self) -> (ErrorCode, String) {
+        match self.recv().expect("frame").expect("a response") {
+            Response::Error { code, message } => (code, message),
+            other => panic!("expected an error response, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn unknown_verb_gets_a_typed_error_and_the_stream_survives() {
+    let handle = spawn_worker(WorkerConfig::new());
+    let mut conn = RawConn::connect(handle.addr());
+    conn.write(b"hycim1 {\"verb\":\"steal\"}\n");
+    let (code, message) = conn.expect_error();
+    assert_eq!(code, ErrorCode::BadRequest);
+    assert!(message.contains("unknown verb"), "{message}");
+
+    // The stream is still synchronized: a real verb works after it.
+    conn.send(&Request::Poll { job: 0 });
+    let (code, _) = conn.expect_error();
+    assert_eq!(code, ErrorCode::UnknownJob);
+    handle.stop();
+}
+
+#[test]
+fn malformed_json_gets_a_typed_error_and_the_stream_survives() {
+    let handle = spawn_worker(WorkerConfig::new());
+    let mut conn = RawConn::connect(handle.addr());
+    conn.write(b"hycim1 {oops\n");
+    let (code, _) = conn.expect_error();
+    assert_eq!(code, ErrorCode::BadRequest);
+
+    // Still synchronized.
+    conn.send(&Request::Poll { job: 1 });
+    let (code, _) = conn.expect_error();
+    assert_eq!(code, ErrorCode::UnknownJob);
+    handle.stop();
+}
+
+#[test]
+fn truncated_frame_closes_the_connection_without_leaking() {
+    let handle = spawn_worker(WorkerConfig::new());
+    let conn = RawConn::connect(handle.addr());
+    // Half a frame, then the write side dies mid-line.
+    (&conn.stream)
+        .write_all(b"hycim1 {\"verb\":\"po")
+        .expect("write");
+    conn.stream
+        .shutdown(Shutdown::Write)
+        .expect("shutdown write");
+    // The worker answers nothing and closes.
+    let mut rest = Vec::new();
+    (&conn.stream)
+        .read_to_end(&mut rest)
+        .expect("read to close");
+    assert!(rest.is_empty(), "no response to a truncated frame");
+    assert_drains(&handle);
+    handle.stop();
+}
+
+#[test]
+fn oversized_frame_is_refused_with_a_typed_error_then_closed() {
+    let mut config = WorkerConfig::new();
+    config.max_frame = 256;
+    let handle = spawn_worker(config);
+    let mut conn = RawConn::connect(handle.addr());
+    conn.write(format!("hycim1 \"{}\"\n", "x".repeat(4096)).as_bytes());
+    let (code, message) = conn.expect_error();
+    assert_eq!(code, ErrorCode::BadRequest);
+    assert!(message.contains("256-byte bound"), "{message}");
+    // The desynchronized stream is closed afterwards.
+    assert!(matches!(conn.recv(), Ok(None)), "stream closed");
+    handle.stop();
+}
+
+#[test]
+fn wrong_protocol_peer_is_answered_once_and_dropped() {
+    let handle = spawn_worker(WorkerConfig::new());
+    let mut conn = RawConn::connect(handle.addr());
+    conn.write(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+    let (code, message) = conn.expect_error();
+    assert_eq!(code, ErrorCode::BadRequest);
+    assert!(message.contains("hycim1"), "{message}");
+    assert!(matches!(conn.recv(), Ok(None)), "stream closed");
+    handle.stop();
+}
+
+#[test]
+fn bad_specs_fail_the_submit_with_typed_errors() {
+    let handle = spawn_worker(WorkerConfig::new());
+    let mut client = WorkerClient::connect(handle.addr()).expect("connect");
+    let good = spec_for(&problem(), vec![1]);
+
+    let mut unknown_engine = good.clone();
+    unknown_engine.engine = "quantum".into();
+    match client.submit(&unknown_engine).unwrap_err() {
+        NetError::Remote { code, message } => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("quantum"), "{message}");
+        }
+        other => panic!("expected a typed remote error, got {other}"),
+    }
+
+    let mut unknown_family = good.clone();
+    unknown_family.family = "sudoku".into();
+    match client.submit(&unknown_family).unwrap_err() {
+        NetError::Remote { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected a typed remote error, got {other}"),
+    }
+
+    let mut corrupt_payload = good.clone();
+    corrupt_payload.problem.push_str("trailing garbage\n");
+    match client.submit(&corrupt_payload).unwrap_err() {
+        NetError::Remote { code, message } => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("line"), "line-numbered: {message}");
+        }
+        other => panic!("expected a typed remote error, got {other}"),
+    }
+
+    // The connection survived all three rejections.
+    let job = client.submit(&good).expect("good spec still submits");
+    assert!(!client.wait_fetch(job).expect("fetches").is_empty());
+    assert_drains(&handle);
+    handle.stop();
+}
+
+#[test]
+fn mid_job_connection_drop_disposes_the_jobs() {
+    let handle = spawn_worker(WorkerConfig::new());
+    {
+        let mut client = WorkerClient::connect(handle.addr()).expect("connect");
+        // Enough work that jobs are still queued or unfetched on drop.
+        for seed in 0..6u64 {
+            let seeds = (0..50u64).map(|k| seed * 100 + k).collect();
+            client.submit(&spec_for(&problem(), seeds)).expect("submit");
+        }
+        assert!(handle.live_jobs() > 0, "jobs are live before the drop");
+        // Client dropped here: the coordinator vanished mid-job.
+    }
+    // The worker disposes everything the dead connection owned.
+    assert_drains(&handle);
+    handle.stop();
+}
+
+#[test]
+fn panicked_worker_is_retried_on_the_survivor_bit_identically() {
+    let p = problem();
+    // Worker A panics on its first submit; worker B is healthy.
+    let mut faulty = WorkerConfig::new();
+    faulty.fault = Some(WorkerFault::PanicOnSubmit(0));
+    let a = spawn_worker(faulty);
+    let b = spawn_worker(WorkerConfig::new());
+    let addrs = vec![a.addr().to_string(), b.addr().to_string()];
+
+    let spec = spec_for(&p, Vec::new());
+    let (total, jobs) = shard_replica_column(&spec, 6, 33, 0, 2);
+    let merged = Coordinator::new(addrs)
+        .run(total, &jobs)
+        .expect("retry on the survivor succeeds");
+
+    // Bit-identical to the local run despite the mid-shard panic.
+    let engine = EngineKind::Software
+        .build(&p, &EngineSettings::new(40, 2))
+        .expect("builds");
+    let reference: Vec<WireSolution> = BatchRunner::serial()
+        .run(&engine, 6, 33)
+        .iter()
+        .map(WireSolution::from_solution)
+        .collect();
+    assert_eq!(merged, reference);
+
+    assert_drains(&a);
+    assert_drains(&b);
+    a.stop();
+    b.stop();
+}
+
+#[test]
+fn exhausted_retries_surface_a_typed_shard_error() {
+    // A spec no worker can run: the engine tag is unknown everywhere.
+    let handle = spawn_worker(WorkerConfig::new());
+    let mut spec = spec_for(&problem(), Vec::new());
+    spec.engine = "quantum".into();
+    let (total, jobs) = shard_replica_column(&spec, 4, 1, 0, 2);
+    let err = Coordinator::new(vec![handle.addr().to_string()])
+        .with_max_attempts(2)
+        .run(total, &jobs)
+        .unwrap_err();
+    match err {
+        NetError::ShardExhausted { attempts, last, .. } => {
+            assert!(attempts <= 2);
+            assert!(
+                last.contains("quantum") || last.contains("worker"),
+                "{last}"
+            );
+        }
+        other => panic!("expected ShardExhausted, got {other}"),
+    }
+    assert_drains(&handle);
+    handle.stop();
+}
+
+#[test]
+fn unreachable_workers_surface_a_typed_error_not_a_hang() {
+    let spec = spec_for(&problem(), Vec::new());
+    let (total, jobs) = shard_replica_column(&spec, 3, 1, 0, 1);
+
+    // Nobody to talk to at all.
+    let err = Coordinator::new(Vec::new()).run(total, &jobs).unwrap_err();
+    assert!(matches!(err, NetError::NoWorkers), "{err}");
+
+    // A dead address: connects fail, the shard exhausts with a reason.
+    let err = Coordinator::new(vec!["127.0.0.1:1".to_string()])
+        .with_max_attempts(1)
+        .run(total, &jobs)
+        .unwrap_err();
+    assert!(matches!(err, NetError::ShardExhausted { .. }), "{err}");
+}

@@ -65,6 +65,7 @@ mod matrix;
 mod multi;
 pub mod packed;
 pub mod quant;
+pub mod wire;
 
 pub use assignment::Assignment;
 pub use constraint::LinearConstraint;

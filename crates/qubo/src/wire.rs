@@ -1,0 +1,77 @@
+//! Exact wire encoding for floating-point values.
+//!
+//! The distributed layer (`hycim-net`) must merge sharded results
+//! bit-identically to a local run, so any `f64` that crosses the wire
+//! — TSP distance tables, spin-glass couplings, objectives, reported
+//! energies — is carried as the hexadecimal form of its IEEE-754 bit
+//! pattern rather than a decimal rendering. Decimal round-trips are
+//! lossy in general ("%.17g" is exact but locale- and formatter-
+//! fragile); `to_bits`/`from_bits` is exact by construction, including
+//! for negative zero, infinities, and NaN payloads.
+
+/// Encodes an `f64` as the 16-digit lowercase hex of its bit pattern.
+///
+/// ```
+/// assert_eq!(hycim_qubo::wire::encode_f64(1.0), "3ff0000000000000");
+/// assert_eq!(hycim_qubo::wire::encode_f64(-0.0), "8000000000000000");
+/// ```
+pub fn encode_f64(value: f64) -> String {
+    format!("{:016x}", value.to_bits())
+}
+
+/// Decodes a hex bit-pattern produced by [`encode_f64`]. Returns
+/// `None` unless the input is exactly 16 lowercase hex digits, so a
+/// truncated or doctored frame fails loudly instead of decoding to a
+/// nearby value.
+pub fn decode_f64(text: &str) -> Option<f64> {
+    if text.len() != 16
+        || !text
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return None;
+    }
+    u64::from_str_radix(text, 16).ok().map(f64::from_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            0.1,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1.0 / 3.0,
+            -123456.789e-12,
+        ] {
+            let enc = encode_f64(v);
+            let dec = decode_f64(&enc).unwrap();
+            assert_eq!(dec.to_bits(), v.to_bits(), "{v} via {enc}");
+        }
+        // NaN payload survives too (bit equality, not ==).
+        let nan = f64::from_bits(0x7ff8_0000_dead_beef);
+        assert_eq!(
+            decode_f64(&encode_f64(nan)).unwrap().to_bits(),
+            nan.to_bits()
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(decode_f64(""), None);
+        assert_eq!(decode_f64("3ff"), None); // too short
+        assert_eq!(decode_f64("3ff00000000000000"), None); // too long
+        assert_eq!(decode_f64("3FF0000000000000"), None); // uppercase
+        assert_eq!(decode_f64("3ff000000000000g"), None); // non-hex
+        assert_eq!(decode_f64(" 3ff000000000000"), None); // whitespace
+    }
+}

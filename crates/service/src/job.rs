@@ -11,6 +11,22 @@ use hycim_core::Solution;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JobId(pub(crate) u64);
 
+impl JobId {
+    /// Reconstructs a handle from its raw id — the deserialization
+    /// entry point for protocol layers that carried the id across a
+    /// wire. Presenting a fabricated id is harmless: every service
+    /// endpoint treats an untracked id as unknown.
+    pub fn from_raw(raw: u64) -> Self {
+        JobId(raw)
+    }
+
+    /// The raw id (what [`from_raw`](Self::from_raw) inverts), for
+    /// serializing the handle.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 impl fmt::Display for JobId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "job-{}", self.0)
@@ -51,18 +67,36 @@ impl JobStatus {
             JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled
         )
     }
-}
 
-impl fmt::Display for JobStatus {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// Stable text tag (also the [`Display`](fmt::Display) form) for
+    /// carrying the status across a wire.
+    pub fn tag(self) -> &'static str {
+        match self {
             JobStatus::Queued => "queued",
             JobStatus::Running => "running",
             JobStatus::Done => "done",
             JobStatus::Failed => "failed",
             JobStatus::Cancelled => "cancelled",
-        };
-        f.write_str(s)
+        }
+    }
+
+    /// Parses a [`tag`](Self::tag).
+    pub fn from_tag(tag: &str) -> Option<Self> {
+        [
+            JobStatus::Queued,
+            JobStatus::Running,
+            JobStatus::Done,
+            JobStatus::Failed,
+            JobStatus::Cancelled,
+        ]
+        .into_iter()
+        .find(|s| s.tag() == tag)
+    }
+}
+
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
     }
 }
 
@@ -142,5 +176,21 @@ mod tests {
         assert_eq!(JobId(7).to_string(), "job-7");
         assert_eq!(JobStatus::Queued.to_string(), "queued");
         assert_eq!(JobStatus::Cancelled.to_string(), "cancelled");
+    }
+
+    #[test]
+    fn tags_and_raw_ids_round_trip() {
+        for s in [
+            JobStatus::Queued,
+            JobStatus::Running,
+            JobStatus::Done,
+            JobStatus::Failed,
+            JobStatus::Cancelled,
+        ] {
+            assert_eq!(JobStatus::from_tag(s.tag()), Some(s));
+        }
+        assert_eq!(JobStatus::from_tag("bogus"), None);
+        assert_eq!(JobId::from_raw(9).raw(), 9);
+        assert_eq!(JobId::from_raw(9), JobId(9));
     }
 }

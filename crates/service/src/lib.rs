@@ -72,4 +72,4 @@ mod service;
 
 pub use error::{FetchError, SubmitError};
 pub use job::{JobId, JobResult, JobStatus};
-pub use service::{JobService, ServiceConfig};
+pub use service::{DisposeOutcome, JobService, ServiceConfig};

@@ -17,6 +17,7 @@
 //! | [`anneal`] | `hycim-anneal` | Simulated-annealing engine, schedules, traces |
 //! | [`core`] | `hycim-core` | Generic engines (`HyCimEngine`, `BankEngine`, `DquboEngine`, `SoftwareEngine`), the parallel `BatchRunner`, success-rate harness |
 //! | [`service`] | `hycim-service` | Job-service front-end: bounded-queue worker pool serving solve jobs to concurrent callers (submit → poll → fetch) |
+//! | [`net`] | `hycim-net` | Framed-JSON wire protocol over TCP: worker servers bridging jobs onto the service pool, the shard-planning coordinator, bit-identical distributed solves |
 //!
 //! The crate-level narrative — who calls whom, and why the layers cut
 //! where they do — lives in
@@ -50,6 +51,7 @@ pub use hycim_cim as cim;
 pub use hycim_cop as cop;
 pub use hycim_core as core;
 pub use hycim_fefet as fefet;
+pub use hycim_net as net;
 pub use hycim_qubo as qubo;
 pub use hycim_service as service;
 
@@ -72,9 +74,12 @@ pub mod prelude {
         BankEngine, BatchRunner, DquboConfig, DquboEngine, DquboSolver, Engine, HyCimConfig,
         HyCimEngine, HyCimSolver, HycimError, SoftwareEngine, SoftwareSolver, Solution,
     };
+    pub use hycim_net::{Coordinator, JobSpec, WireSolution, WorkerClient, WorkerServer};
     pub use hycim_qubo::{
         Assignment, DeltaEngine, InequalityQubo, IsingModel, LinearConstraint, LocalFieldState,
         MultiInequalityQubo, QuboMatrix,
     };
-    pub use hycim_service::{JobId, JobResult, JobService, JobStatus, ServiceConfig};
+    pub use hycim_service::{
+        DisposeOutcome, JobId, JobResult, JobService, JobStatus, ServiceConfig,
+    };
 }

@@ -21,6 +21,8 @@ fn facade_modules_alias_subcrates() {
     same::<hycim::core::Solution<hycim::cop::QkpInstance>>(
         std::convert::identity::<hycim_core::Solution<hycim_cop::QkpInstance>>,
     );
+    same::<hycim::net::WireSolution>(std::convert::identity::<hycim_net::WireSolution>);
+    same::<hycim::service::DisposeOutcome>(std::convert::identity::<hycim_service::DisposeOutcome>);
 }
 
 /// The prelude surface named in the facade docs resolves and is
@@ -47,6 +49,42 @@ fn nested_module_paths_resolve() {
     let _ = hycim::qubo::dqubo::PenaltyWeights::PAPER;
     let _: hycim::cim::filter::FilterConfig = FilterConfig::default();
     let _: hycim::core::HycimError;
+}
+
+/// The wire surface is reachable through the facade: spin up a
+/// loopback worker, submit a solve over real TCP through prelude
+/// types only, and the fetched result matches a direct local solve.
+#[test]
+fn net_surface_round_trips_a_job() {
+    use hycim::cop::maxcut::MaxCut;
+    use hycim::cop::AnyProblem;
+    use hycim::core::{EngineKind, EngineSettings};
+    use hycim::net::WorkerConfig;
+
+    let problem = MaxCut::random(8, 0.5, 4);
+    let any = AnyProblem::from(problem.clone());
+    let handle = WorkerServer::bind("127.0.0.1:0", WorkerConfig::new())
+        .expect("bind loopback")
+        .spawn();
+    let mut client = WorkerClient::connect(handle.addr()).expect("connect");
+    let spec = JobSpec {
+        family: any.family_tag().to_string(),
+        problem: any.to_wire(),
+        engine: EngineKind::Software.tag().to_string(),
+        sweeps: 30,
+        hardware_seed: 1,
+        record_trace: true,
+        seeds: vec![9],
+    };
+    let job = client.submit(&spec).expect("submit");
+    let fetched = client.wait_fetch(job).expect("fetch");
+
+    let engine = EngineKind::Software
+        .build(&problem, &EngineSettings::new(30, 1))
+        .expect("builds");
+    let local = WireSolution::from_solution(&engine.solve(9));
+    assert_eq!(fetched, vec![local]);
+    handle.stop();
 }
 
 /// The filter-bank pipeline surface is reachable through the prelude:

@@ -21,14 +21,16 @@
 //! sampling noise.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use hycim_bench::gate::{
     diff_study_cells, replica_throughput_drift, throughput_drift, GateReport, GateTolerances,
 };
 use hycim_bench::{
-    default_threads, parse_study_cells, validate_hotpath_json, validate_study_json, Args,
-    StudyRecipe, StudyRunner,
+    default_threads, parse_study_cells, render_metrics_summary, validate_hotpath_json,
+    validate_study_json, Args, StudyRecipe, StudyRunner,
 };
+use hycim_obs::ObsRegistry;
 
 fn main() -> ExitCode {
     let args = Args::parse();
@@ -78,8 +80,10 @@ fn main() -> ExitCode {
         recipe.engines.len(),
         recipe.replicas
     );
+    let obs = Arc::new(ObsRegistry::new());
     let result = StudyRunner::new()
         .with_threads(threads)
+        .with_obs(Arc::clone(&obs))
         .run(&recipe)
         .expect("gate recipe cells must construct");
     println!(
@@ -87,6 +91,7 @@ fn main() -> ExitCode {
         result.wall_seconds,
         result.cells()
     );
+    print!("{}", render_metrics_summary(&result, &obs.snapshot()));
     report.merge(diff_study_cells(
         &committed_cells,
         &result.fresh_cells(),

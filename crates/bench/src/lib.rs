@@ -54,7 +54,7 @@ pub use check::{
 pub use distributed::DistributedStudyRunner;
 pub use recipe::{EngineKind, Family, FamilySpec, RecipeError, StudyRecipe};
 pub use stats::{rank_cells, rank_engines, CellSummary, EngineRanking, ProblemSummary};
-pub use study::{render_study_json, StudyResult, StudyRunner};
+pub use study::{render_metrics_summary, render_study_json, StudyResult, StudyRunner};
 
 use std::collections::HashMap;
 use std::env;

@@ -21,8 +21,11 @@ use hycim_cop::maxcut::MaxCut;
 use hycim_cop::mkp::MkpGenerator;
 use hycim_cop::spinglass::SpinGlass;
 use hycim_cop::tsp::Tsp;
+use std::sync::Arc;
+
 use hycim_cop::{AnyProblem, CopProblem};
 use hycim_core::{BatchRunner, Engine, EngineSettings};
+use hycim_obs::{ObsRegistry, Snapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -85,7 +88,18 @@ impl StudyRunner {
     ///
     /// Panics if `threads == 0`.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.runner = BatchRunner::new().with_threads(threads);
+        self.runner = self.runner.with_threads(threads);
+        self
+    }
+
+    /// Routes per-cell execution counters into a metrics registry:
+    /// `batch.cells` / `batch.iterations` / `batch.cell_iterations`
+    /// (deterministic) and `timing.batch.cell_seconds` (wall-clock,
+    /// quarantined in the snapshot's `timing.` section). This replaces
+    /// the old stdout-only telemetry path — render the snapshot with
+    /// [`render_metrics_summary`] when a human report is wanted.
+    pub fn with_obs(mut self, obs: Arc<ObsRegistry>) -> Self {
+        self.runner = self.runner.with_obs(obs);
         self
     }
 
@@ -282,6 +296,25 @@ fn fmt_num(v: f64, decimals: usize) -> String {
     }
 }
 
+/// The opt-in human formatter for a study's execution metrics — the
+/// successor of the old unconditional stdout telemetry print. Binaries
+/// call it only when not `--quiet`, so machine-read output never
+/// interleaves with telemetry. Nothing rendered here enters any
+/// artifact: the grid totals are deterministic, the trailing
+/// `-- timing --` section is wall-clock.
+pub fn render_metrics_summary(result: &StudyResult, snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    out.push_str("-- metrics (stdout only, never in the artifact) --\n");
+    out.push_str(&format!(
+        "cells {}  iterations {}  solve wall-clock {:.2}s\n",
+        result.cells(),
+        result.total_iterations,
+        result.wall_seconds
+    ));
+    out.push_str(&snapshot.render());
+    out
+}
+
 /// Renders the `BENCH_study.json` document for a study result.
 ///
 /// Every rendered value is deterministic (fixed decimal formatting,
@@ -389,6 +422,37 @@ mod tests {
         validate_study_json(&doc).expect("rendered document validates");
         // Telemetry never leaks into the artifact.
         assert!(!doc.contains("wall"));
+    }
+
+    #[test]
+    fn study_runs_feed_the_obs_registry_and_the_summary_formatter() {
+        let recipe = StudyRecipe::parse(
+            "study tiny\nseed 5\nreplicas 2\nsweeps 30\nengines software\n\
+             problem qkp sizes=8 density=50\n",
+        )
+        .unwrap();
+        let obs = Arc::new(ObsRegistry::new());
+        let result = StudyRunner::new()
+            .with_obs(Arc::clone(&obs))
+            .with_threads(2) // must preserve the registry
+            .run(&recipe)
+            .unwrap();
+        let snapshot = obs.snapshot();
+        assert_eq!(snapshot.counter("batch.cells"), Some(2));
+        assert_eq!(
+            snapshot.counter("batch.iterations"),
+            Some(result.total_iterations)
+        );
+        assert_eq!(
+            snapshot
+                .histogram("timing.batch.cell_seconds")
+                .map(|h| h.count()),
+            Some(2)
+        );
+        let summary = render_metrics_summary(&result, &snapshot);
+        assert!(summary.contains("-- metrics"));
+        assert!(summary.contains("batch.cells 2"));
+        assert!(summary.contains("-- timing --"));
     }
 
     #[test]

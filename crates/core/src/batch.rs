@@ -28,10 +28,11 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use hycim_cop::CopProblem;
+use hycim_obs::ObsRegistry;
 
 use crate::{Engine, Solution};
 
@@ -87,6 +88,7 @@ pub struct CellTelemetry {
 #[derive(Debug, Clone)]
 pub struct BatchRunner {
     threads: usize,
+    obs: Option<Arc<ObsRegistry>>,
 }
 
 impl BatchRunner {
@@ -95,13 +97,27 @@ impl BatchRunner {
     pub fn new() -> Self {
         Self {
             threads: default_threads(),
+            obs: None,
         }
     }
 
     /// A single-threaded runner (the serial reference the determinism
     /// guarantee is stated against).
     pub fn serial() -> Self {
-        Self { threads: 1 }
+        Self {
+            threads: 1,
+            obs: None,
+        }
+    }
+
+    /// Publishes [`run_telemetry`](Self::run_telemetry) observations
+    /// into `obs` (under `batch.*` names, wall-clock under
+    /// `timing.batch.*`) instead of discarding them. Observations are
+    /// recorded after the fan-out joins, in replica order, so every
+    /// non-`timing.` metric is bit-identical across thread counts.
+    pub fn with_obs(mut self, obs: Arc<ObsRegistry>) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Overrides the worker-thread count.
@@ -158,7 +174,7 @@ impl BatchRunner {
         E: Engine<P>,
     {
         assert!(replicas > 0, "need at least one replica");
-        self.map_indexed(replicas, |k| {
+        let cells = self.map_indexed(replicas, |k| {
             let start = Instant::now();
             let solution = engine.solve(replica_seed(root_seed, 0, k as u64));
             let telemetry = CellTelemetry {
@@ -166,7 +182,23 @@ impl BatchRunner {
                 iterations: solution.trace.iterations(),
             };
             (solution, telemetry)
-        })
+        });
+        if let Some(obs) = &self.obs {
+            // Feed the registry after the join, in replica order:
+            // no hot-path contention, and the non-timing metrics are
+            // independent of how cells landed on threads.
+            let cell_count = obs.counter("batch.cells");
+            let iterations = obs.counter("batch.iterations");
+            let per_cell = obs.histogram("batch.cell_iterations");
+            let wall = obs.histogram("timing.batch.cell_seconds");
+            for (_, telemetry) in &cells {
+                cell_count.inc();
+                iterations.add(telemetry.iterations as u64);
+                per_cell.record(telemetry.iterations as f64);
+                wall.record(telemetry.wall_seconds);
+            }
+        }
+        cells
     }
 
     /// Runs the full grid: `replicas` solves of every engine, fanned

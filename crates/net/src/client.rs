@@ -8,6 +8,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use hycim_core::ShardError;
+use hycim_obs::Snapshot;
 use hycim_service::{DisposeOutcome, JobStatus};
 
 use crate::frame::{FrameError, MessageReceiver, MessageSender};
@@ -21,6 +22,12 @@ pub enum NetError {
     /// The transport failed (connect, read, write, or the peer closed
     /// mid-conversation).
     Io(std::io::Error),
+    /// A configured deadline elapsed: the peer accepted the
+    /// connection (or the connect itself stalled) but did not answer
+    /// within [`WorkerClient::set_timeout`] /
+    /// [`WorkerClient::connect_timeout`]. Distinct from [`Io`](Self::Io)
+    /// so retry loops can treat a hung peer as retriable-elsewhere.
+    Timeout,
     /// A frame could not be read.
     Frame(FrameError),
     /// A frame decoded but violated the protocol.
@@ -61,6 +68,7 @@ impl fmt::Display for NetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetError::Io(e) => write!(f, "transport: {e}"),
+            NetError::Timeout => write!(f, "peer deadline elapsed"),
             NetError::Frame(e) => write!(f, "framing: {e}"),
             NetError::Proto(e) => write!(f, "{e}"),
             NetError::UnexpectedReply { expected, got } => {
@@ -94,15 +102,31 @@ impl std::error::Error for NetError {
     }
 }
 
+/// The error kinds a blocking socket read reports when its configured
+/// read timeout elapses (`WouldBlock` on Unix, `TimedOut` on Windows).
+fn is_timeout(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
 impl From<std::io::Error> for NetError {
     fn from(e: std::io::Error) -> Self {
-        NetError::Io(e)
+        if is_timeout(e.kind()) {
+            NetError::Timeout
+        } else {
+            NetError::Io(e)
+        }
     }
 }
 
 impl From<FrameError> for NetError {
     fn from(e: FrameError) -> Self {
-        NetError::Frame(e)
+        match e {
+            FrameError::Io(io) if is_timeout(io.kind()) => NetError::Timeout,
+            other => NetError::Frame(other),
+        }
     }
 }
 
@@ -129,6 +153,32 @@ impl WorkerClient {
     /// Transport failures.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
         let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Connects to a worker with a bound on the connect itself: an
+    /// unreachable or black-holing address turns into
+    /// [`NetError::Timeout`] after `timeout` instead of the
+    /// platform's (often minutes-long) default.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures; [`NetError::Timeout`] when the deadline
+    /// elapses on every resolved address.
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Self, NetError> {
+        let mut last: Option<NetError> = None;
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, timeout) {
+                Ok(stream) => return Self::from_stream(stream),
+                Err(e) => last = Some(e.into()),
+            }
+        }
+        Err(last.unwrap_or(NetError::Io(std::io::Error::other(
+            "address resolved to nothing",
+        ))))
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Self, NetError> {
         stream.set_nodelay(true).ok();
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Self {
@@ -138,7 +188,7 @@ impl WorkerClient {
     }
 
     /// Sets a read timeout so a silent peer turns into a typed
-    /// [`NetError::Io`] instead of a hang.
+    /// [`NetError::Timeout`] instead of a hang.
     ///
     /// # Errors
     ///
@@ -232,6 +282,20 @@ impl WorkerClient {
         }
     }
 
+    /// Scrapes the worker's metrics registry: wire counters
+    /// (`net.*`), its job service (`service.*`), and whatever the
+    /// engines published — one [`Snapshot`] for the whole worker.
+    ///
+    /// # Errors
+    ///
+    /// Any [`NetError`].
+    pub fn stats(&mut self) -> Result<Snapshot, NetError> {
+        match self.call(&Request::Stats, "stats")? {
+            Response::Stats { stats } => Ok(stats),
+            _ => unreachable!("call() checked the reply kind"),
+        }
+    }
+
     /// Polls until the job turns terminal, then fetches — the
     /// blocking convenience for single-worker callers.
     ///
@@ -255,6 +319,7 @@ fn reply_name(response: &Response) -> &'static str {
         Response::Status { .. } => "status",
         Response::Solutions { .. } => "solutions",
         Response::Cancelled { .. } => "cancelled",
+        Response::Stats { .. } => "stats",
         Response::Error { .. } => "error",
     }
 }

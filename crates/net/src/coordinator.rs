@@ -14,9 +14,11 @@
 //! [`NetError::ShardExhausted`] — never a hang, never a partial
 //! merge.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use hycim_core::{merge_shards, replica_seed, Shard, ShardPlan};
+use hycim_obs::{Event, ObsRegistry, Snapshot};
 
 use crate::client::{NetError, WorkerClient};
 use crate::proto::{JobSpec, WireSolution};
@@ -67,6 +69,9 @@ pub struct Coordinator {
     addrs: Vec<String>,
     max_attempts: usize,
     poll_interval: Duration,
+    read_timeout: Option<Duration>,
+    connect_timeout: Option<Duration>,
+    obs: Arc<ObsRegistry>,
 }
 
 enum Slot {
@@ -92,6 +97,9 @@ impl Coordinator {
             addrs,
             max_attempts,
             poll_interval: Duration::from_millis(2),
+            read_timeout: None,
+            connect_timeout: None,
+            obs: Arc::new(ObsRegistry::new()),
         }
     }
 
@@ -104,6 +112,66 @@ impl Coordinator {
         assert!(max_attempts > 0, "need at least one attempt");
         self.max_attempts = max_attempts;
         self
+    }
+
+    /// Bounds every per-request wait on a worker: a peer that accepts
+    /// the connection but goes silent turns into [`NetError::Timeout`]
+    /// — which retires it and requeues its shards — instead of
+    /// hanging the whole run.
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
+        self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Bounds the initial connect to each worker (unreachable
+    /// addresses otherwise stall for the platform default, often
+    /// minutes).
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Routes the coordinator's own counters and events into a caller
+    /// registry (by default each coordinator owns a private one,
+    /// readable via [`obs`](Self::obs)).
+    pub fn with_obs(mut self, obs: Arc<ObsRegistry>) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The registry holding the coordinator-side view of a run:
+    /// `coord.shard_attempts` / `coord.shard_retries` /
+    /// `coord.shards_done` / `coord.workers_retired` /
+    /// `coord.shards_requeued`, plus the dispatch/retire event trace.
+    pub fn obs(&self) -> &Arc<ObsRegistry> {
+        &self.obs
+    }
+
+    /// Scrapes every worker's metrics registry over the `stats` wire
+    /// verb, honoring the configured timeouts. Returns one
+    /// [`Snapshot`] per address, in address order.
+    ///
+    /// # Errors
+    ///
+    /// The first per-worker failure — scraping is a diagnostic path,
+    /// so it reports rather than retries.
+    pub fn scrape(&self) -> Result<Vec<(String, Snapshot)>, NetError> {
+        self.addrs
+            .iter()
+            .map(|addr| {
+                let mut client = self.connect(addr)?;
+                Ok((addr.clone(), client.stats()?))
+            })
+            .collect()
+    }
+
+    fn connect(&self, addr: &str) -> Result<WorkerClient, NetError> {
+        let mut client = match self.connect_timeout {
+            Some(timeout) => WorkerClient::connect_timeout(addr, timeout)?,
+            None => WorkerClient::connect(addr)?,
+        };
+        client.set_timeout(self.read_timeout)?;
+        Ok(client)
     }
 
     /// Runs a set of shard jobs to completion and merges their
@@ -123,8 +191,11 @@ impl Coordinator {
         let mut clients: Vec<Option<WorkerClient>> = self
             .addrs
             .iter()
-            .map(|addr| WorkerClient::connect(addr.as_str()).ok())
+            .map(|addr| self.connect(addr).ok())
             .collect();
+        let attempts_made = self.obs.counter("coord.shard_attempts");
+        let retries = self.obs.counter("coord.shard_retries");
+        let shards_done = self.obs.counter("coord.shards_done");
         let mut slots: Vec<Slot> = jobs
             .iter()
             .map(|_| Slot::Todo {
@@ -167,6 +238,19 @@ impl Coordinator {
                     .submit(&jobs[i].spec);
                 match submitted {
                     Ok(job) => {
+                        attempts_made.inc();
+                        if attempts > 0 {
+                            retries.inc();
+                            self.obs.tracer().record(Event::ShardRetried {
+                                start: shard.start as u64,
+                                end: shard.end as u64,
+                            });
+                        }
+                        self.obs.tracer().record(Event::ShardDispatched {
+                            start: shard.start as u64,
+                            end: shard.end as u64,
+                            worker: worker as u64,
+                        });
                         slots[i] = Slot::Pending {
                             worker,
                             job,
@@ -175,7 +259,15 @@ impl Coordinator {
                         progressed = true;
                     }
                     Err(e) => {
-                        retire_worker(&mut clients, &mut slots, worker, &e.to_string());
+                        attempts_made.inc();
+                        retire_worker(
+                            &mut clients,
+                            &mut slots,
+                            jobs,
+                            &self.obs,
+                            worker,
+                            &e.to_string(),
+                        );
                         slots[i] = Slot::Todo {
                             attempts: attempts + 1,
                             last: e.to_string(),
@@ -203,6 +295,7 @@ impl Coordinator {
                     Ok(status) if !status.is_terminal() => {}
                     Ok(_) => match clients[worker].as_mut().expect("still live").fetch(job) {
                         Ok(solutions) => {
+                            shards_done.inc();
                             slots[i] = Slot::Done(solutions);
                             progressed = true;
                         }
@@ -210,7 +303,14 @@ impl Coordinator {
                             // The job itself failed (panicked solve,
                             // refused spec): the worker is suspect —
                             // retire it and retry elsewhere.
-                            retire_worker(&mut clients, &mut slots, worker, &e.to_string());
+                            retire_worker(
+                                &mut clients,
+                                &mut slots,
+                                jobs,
+                                &self.obs,
+                                worker,
+                                &e.to_string(),
+                            );
                             slots[i] = Slot::Todo {
                                 attempts,
                                 last: e.to_string(),
@@ -218,12 +318,26 @@ impl Coordinator {
                             progressed = true;
                         }
                         Err(e) => {
-                            retire_worker(&mut clients, &mut slots, worker, &e.to_string());
+                            retire_worker(
+                                &mut clients,
+                                &mut slots,
+                                jobs,
+                                &self.obs,
+                                worker,
+                                &e.to_string(),
+                            );
                             progressed = true;
                         }
                     },
                     Err(e) => {
-                        retire_worker(&mut clients, &mut slots, worker, &e.to_string());
+                        retire_worker(
+                            &mut clients,
+                            &mut slots,
+                            jobs,
+                            &self.obs,
+                            worker,
+                            &e.to_string(),
+                        );
                         progressed = true;
                     }
                 }
@@ -263,15 +377,24 @@ fn next_alive(clients: &[Option<WorkerClient>], cursor: &mut usize) -> Option<us
 
 /// Drops a worker from the rotation and requeues every shard that was
 /// pending on it (attempt counts preserved — the retry itself
-/// re-increments on dispatch).
+/// re-increments on dispatch). The retirement and each requeue land in
+/// the coordinator's registry, so a scrape after a fault shows exactly
+/// which worker died and how many shards it took down with it.
 fn retire_worker(
     clients: &mut [Option<WorkerClient>],
     slots: &mut [Slot],
+    jobs: &[ShardJob],
+    obs: &ObsRegistry,
     worker: usize,
     reason: &str,
 ) {
     clients[worker] = None;
-    for slot in slots.iter_mut() {
+    obs.counter("coord.workers_retired").inc();
+    obs.tracer().record(Event::WorkerRetired {
+        worker: worker as u64,
+    });
+    let requeued = obs.counter("coord.shards_requeued");
+    for (i, slot) in slots.iter_mut().enumerate() {
         if let Slot::Pending {
             worker: w,
             attempts,
@@ -279,6 +402,11 @@ fn retire_worker(
         } = slot
         {
             if *w == worker {
+                requeued.inc();
+                obs.tracer().record(Event::ShardRequeued {
+                    start: jobs[i].shard.start as u64,
+                    end: jobs[i].shard.end as u64,
+                });
                 *slot = Slot::Todo {
                     attempts: *attempts,
                     last: format!("worker retired: {reason}"),

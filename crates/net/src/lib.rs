@@ -11,18 +11,21 @@
 //! * [`frame`] — one message per line, prefix-tagged with the
 //!   protocol version, byte-bounded per frame. Plain
 //!   `std::net::TcpStream`, no async runtime.
-//! * [`proto`] — the four verbs (`submit`, `poll`, `fetch`,
-//!   `cancel`), the [`JobSpec`] shard description, and the
+//! * [`proto`] — the five verbs (`submit`, `poll`, `fetch`,
+//!   `cancel`, `stats`), the [`JobSpec`] shard description, and the
 //!   [`WireSolution`] results.
 //! * [`worker`] — a [`WorkerServer`] bridging the verbs onto a
 //!   [`JobService`](hycim_service::JobService) pool, with
 //!   per-connection job disposal (a dropped coordinator never strands
-//!   jobs).
+//!   jobs) and one [`ObsRegistry`](hycim_obs::ObsRegistry) per worker
+//!   (frame and shard counters, scrapeable over the `stats` verb).
 //! * [`client`] / [`coordinator`] — the [`WorkerClient`] connection
-//!   and the [`Coordinator`] that plans shards
+//!   (with read/connect deadlines that turn a hung peer into a typed
+//!   [`NetError::Timeout`]) and the [`Coordinator`] that plans shards
 //!   ([`ShardPlan`](hycim_core::ShardPlan)), dispatches them with
 //!   pre-derived [`replica_seed`](hycim_core::replica_seed)s, retries
-//!   failures on surviving workers, and merges with
+//!   failures on surviving workers, records its dispatch/retire story
+//!   in its own registry, and merges with
 //!   [`merge_shards`](hycim_core::merge_shards).
 //!
 //! Determinism contract: every spec carries its exact solve seeds and

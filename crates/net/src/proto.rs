@@ -1,7 +1,8 @@
-//! The protocol messages: four request verbs (`submit`, `poll`,
-//! `fetch`, `cancel`), their responses, and the typed payloads — a
-//! [`JobSpec`] describing one shard of solves and the
-//! [`WireSolution`]s coming back.
+//! The protocol messages: five request verbs (`submit`, `poll`,
+//! `fetch`, `cancel`, `stats`), their responses, and the typed
+//! payloads — a [`JobSpec`] describing one shard of solves, the
+//! [`WireSolution`]s coming back, and a metrics
+//! [`Snapshot`] for the `stats` scrape.
 //!
 //! Seeding contract: a spec carries its solve seeds **explicitly**
 //! (the coordinator derives them with
@@ -17,10 +18,12 @@
 //! their canonical [`AnyProblem`] text form. Nothing on the wire is
 //! ever formatted as decimal floating point.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use hycim_cop::{AnyProblem, CopError};
 use hycim_core::{EngineKind, EngineSettings, Solution};
+use hycim_obs::{HistogramSnapshot, Snapshot};
 use hycim_qubo::wire::{decode_f64, encode_f64};
 use hycim_qubo::Assignment;
 use hycim_service::{DisposeOutcome, JobStatus};
@@ -262,7 +265,77 @@ impl WireSolution {
     }
 }
 
-/// A request frame: one of the four verbs.
+/// Encodes a metrics snapshot: three objects keyed by metric name —
+/// counters and gauges as integers, histograms as bucket-count
+/// arrays. Names are already sorted (`BTreeMap` iteration), so the
+/// wire form is canonical.
+fn snapshot_to_value(s: &Snapshot) -> Value {
+    let uints = |map: &BTreeMap<String, u64>| {
+        Value::Object(
+            map.iter()
+                .map(|(name, &v)| (name.clone(), Value::UInt(v)))
+                .collect(),
+        )
+    };
+    let histograms = Value::Object(
+        s.histograms
+            .iter()
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    Value::Array(h.buckets.iter().map(|&c| Value::UInt(c)).collect()),
+                )
+            })
+            .collect(),
+    );
+    Value::object(vec![
+        ("counters", uints(&s.counters)),
+        ("gauges", uints(&s.gauges)),
+        ("histograms", histograms),
+    ])
+}
+
+fn snapshot_from_value(v: &Value) -> Result<Snapshot, ProtoError> {
+    let entries = |v: &Value, key: &str| -> Result<Vec<(String, Value)>, ProtoError> {
+        match field(v, key)? {
+            Value::Object(fields) => Ok(fields.clone()),
+            _ => Err(ProtoError::new(format!(
+                "field \"{key}\" must be an object"
+            ))),
+        }
+    };
+    let mut snapshot = Snapshot::default();
+    for (name, value) in entries(v, "counters")? {
+        let count = value
+            .as_u64()
+            .ok_or_else(|| ProtoError::new(format!("counter \"{name}\" must be an integer")))?;
+        snapshot.counters.insert(name, count);
+    }
+    for (name, value) in entries(v, "gauges")? {
+        let level = value
+            .as_u64()
+            .ok_or_else(|| ProtoError::new(format!("gauge \"{name}\" must be an integer")))?;
+        snapshot.gauges.insert(name, level);
+    }
+    for (name, value) in entries(v, "histograms")? {
+        let buckets = value
+            .as_array()
+            .ok_or_else(|| ProtoError::new(format!("histogram \"{name}\" must be an array")))?
+            .iter()
+            .map(|b| {
+                b.as_u64().ok_or_else(|| {
+                    ProtoError::new(format!("histogram \"{name}\" buckets must be integers"))
+                })
+            })
+            .collect::<Result<Vec<u64>, _>>()?;
+        snapshot
+            .histograms
+            .insert(name, HistogramSnapshot { buckets });
+    }
+    Ok(snapshot)
+}
+
+/// A request frame: one of the five verbs.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Submit a shard of solves; answered by
@@ -283,6 +356,10 @@ pub enum Request {
         /// The job id from [`Response::Submitted`].
         job: u64,
     },
+    /// Scrape the worker's metrics registry; answered by
+    /// [`Response::Stats`]. Carries no arguments — the snapshot
+    /// covers the whole worker (wire counters plus its job service).
+    Stats,
 }
 
 impl Request {
@@ -305,6 +382,7 @@ impl Request {
                 ("verb", Value::Str("cancel".into())),
                 ("job", Value::UInt(*job)),
             ]),
+            Request::Stats => Value::object(vec![("verb", Value::Str("stats".into()))]),
         }
     }
 
@@ -325,6 +403,7 @@ impl Request {
             "cancel" => Ok(Request::Cancel {
                 job: u64_field(v, "job")?,
             }),
+            "stats" => Ok(Request::Stats),
             other => Err(ProtoError::new(format!("unknown verb \"{other}\""))),
         }
     }
@@ -420,6 +499,14 @@ pub enum Response {
         /// What the disposal found.
         outcome: DisposeOutcome,
     },
+    /// The worker's metrics at scrape time. Every payload is an
+    /// unsigned integer (histograms travel as raw bucket-count
+    /// arrays), so the encoding is exact — no hex-float escape hatch
+    /// needed, and scraped snapshots merge without drift.
+    Stats {
+        /// The scraped registry snapshot.
+        stats: Snapshot,
+    },
     /// The request failed; the verb had no effect beyond what
     /// `code` documents.
     Error {
@@ -455,6 +542,10 @@ impl Response {
                 ("reply", Value::Str("cancelled".into())),
                 ("job", Value::UInt(*job)),
                 ("outcome", Value::Str(outcome.tag().into())),
+            ]),
+            Response::Stats { stats } => Value::object(vec![
+                ("reply", Value::Str("stats".into())),
+                ("stats", snapshot_to_value(stats)),
             ]),
             Response::Error { code, message } => Value::object(vec![
                 ("reply", Value::Str("error".into())),
@@ -502,6 +593,9 @@ impl Response {
                         .ok_or_else(|| ProtoError::new(format!("unknown outcome tag \"{tag}\"")))?,
                 })
             }
+            "stats" => Ok(Response::Stats {
+                stats: snapshot_from_value(field(v, "stats")?)?,
+            }),
             "error" => {
                 let tag = str_field(v, "code")?;
                 Ok(Response::Error {
@@ -538,6 +632,7 @@ mod tests {
             Request::Poll { job: 0 },
             Request::Fetch { job: u64::MAX },
             Request::Cancel { job: 7 },
+            Request::Stats,
         ] {
             let v = Value::parse(&req.to_value().encode()).unwrap();
             assert_eq!(Request::from_value(&v).unwrap(), req);
@@ -568,6 +663,9 @@ mod tests {
                 job: 3,
                 outcome: DisposeOutcome::Deferred,
             },
+            Response::Stats {
+                stats: sample_snapshot(),
+            },
             Response::Error {
                 code: ErrorCode::Backpressure,
                 message: "queue full".into(),
@@ -576,6 +674,79 @@ mod tests {
             let v = Value::parse(&resp.to_value().encode()).unwrap();
             assert_eq!(Response::from_value(&v).unwrap(), resp, "{resp:?}");
         }
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let obs = hycim_obs::ObsRegistry::new();
+        obs.counter("net.frames_in").add(12);
+        obs.counter("service.jobs_done").add(3);
+        obs.gauge("service.queue_depth").set(2);
+        obs.histogram("batch.cell_iterations").record(640.0);
+        obs.histogram("timing.service.submit_to_fetch_seconds")
+            .record(0.003);
+        obs.snapshot()
+    }
+
+    #[test]
+    fn stats_round_trip_is_exact_including_empty_snapshots() {
+        // Empty registry: three empty maps, still a valid frame.
+        let empty = Response::Stats {
+            stats: Snapshot::default(),
+        };
+        let v = Value::parse(&empty.to_value().encode()).unwrap();
+        assert_eq!(Response::from_value(&v).unwrap(), empty);
+
+        // A populated snapshot survives with every bucket intact.
+        let stats = sample_snapshot();
+        let v = Value::parse(
+            &Response::Stats {
+                stats: stats.clone(),
+            }
+            .to_value()
+            .encode(),
+        )
+        .unwrap();
+        match Response::from_value(&v).unwrap() {
+            Response::Stats { stats: decoded } => {
+                assert_eq!(decoded, stats);
+                assert_eq!(decoded.counter("net.frames_in"), Some(12));
+                assert_eq!(
+                    decoded
+                        .histogram("batch.cell_iterations")
+                        .map(|h| h.count()),
+                    Some(1)
+                );
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_stats_payloads_are_named() {
+        let missing = Value::object(vec![("reply", Value::Str("stats".into()))]);
+        assert!(Response::from_value(&missing)
+            .unwrap_err()
+            .message
+            .contains("missing field \"stats\""));
+
+        let bad_counter = Value::object(vec![
+            ("reply", Value::Str("stats".into())),
+            (
+                "stats",
+                Value::object(vec![
+                    (
+                        "counters",
+                        Value::object(vec![("x", Value::Str("nope".into()))]),
+                    ),
+                    ("gauges", Value::object(vec![])),
+                    ("histograms", Value::object(vec![])),
+                ]),
+            ),
+        ]);
+        assert!(Response::from_value(&bad_counter)
+            .unwrap_err()
+            .message
+            .contains("counter \"x\""));
     }
 
     #[test]

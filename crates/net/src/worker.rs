@@ -15,6 +15,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use hycim_cop::{AnyProblem, CopProblem};
+use hycim_obs::ObsRegistry;
 use hycim_service::{DisposeOutcome, JobId, JobService, ServiceConfig, SubmitError};
 
 use crate::frame::{FrameError, MessageReceiver, MessageSender, DEFAULT_MAX_FRAME};
@@ -70,6 +71,10 @@ struct WorkerShared {
     submits: AtomicUsize,
     fault: Option<WorkerFault>,
     max_frame: usize,
+    /// One registry for the whole worker: the wire layer's `net.*`
+    /// counters and the job service's `service.*` family land in the
+    /// same place, so a single `stats` scrape sees the entire process.
+    obs: Arc<ObsRegistry>,
     /// Live connection streams, for unblocking reads on stop.
     conns: Mutex<Vec<TcpStream>>,
 }
@@ -89,10 +94,12 @@ impl WorkerServer {
     /// Propagates bind failures.
     pub fn bind(addr: impl ToSocketAddrs, config: WorkerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        let obs = Arc::new(ObsRegistry::new());
         let service = JobService::start(
             ServiceConfig::new()
                 .with_workers(config.threads)
-                .with_queue_capacity(config.queue_capacity),
+                .with_queue_capacity(config.queue_capacity)
+                .with_obs(Arc::clone(&obs)),
         );
         Ok(Self {
             listener,
@@ -102,6 +109,7 @@ impl WorkerServer {
                 submits: AtomicUsize::new(0),
                 fault: config.fault,
                 max_frame: config.max_frame,
+                obs,
                 conns: Mutex::new(Vec::new()),
             }),
         })
@@ -167,6 +175,12 @@ impl WorkerHandle {
         self.shared.service.live_jobs()
     }
 
+    /// The worker's metrics registry — the same one the `stats` wire
+    /// verb snapshots, exposed for in-process assertions.
+    pub fn obs(&self) -> &Arc<ObsRegistry> {
+        &self.shared.obs
+    }
+
     /// Stops accepting, severs live connections, and joins the accept
     /// thread. Jobs already running finish on the pool (dropped via
     /// their connections' disposal) before the handle returns.
@@ -219,6 +233,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<WorkerShared>) -> std::io::R
 /// connection still owns is disposed on the way out.
 fn handle_connection(stream: TcpStream, shared: &WorkerShared) {
     let mut owned: HashSet<u64> = HashSet::new();
+    let frames_in = shared.obs.counter("net.frames_in");
+    let frames_out = shared.obs.counter("net.frames_out");
     // The accept loop holds a clone of this socket (for stop-time
     // severing), so dropping our handles alone would not send FIN;
     // shut the socket down explicitly on the way out so peers waiting
@@ -234,6 +250,7 @@ fn handle_connection(stream: TcpStream, shared: &WorkerShared) {
         match receiver.recv() {
             Ok(None) => break,
             Ok(Some(frame)) => {
+                frames_in.inc();
                 let response = match Request::from_value(&frame) {
                     Ok(request) => handle_request(request, shared, &mut owned),
                     Err(e) => Response::Error {
@@ -244,10 +261,12 @@ fn handle_connection(stream: TcpStream, shared: &WorkerShared) {
                 if sender.send(&response.to_value()).is_err() {
                     break;
                 }
+                frames_out.inc();
             }
             // A well-formed line with an invalid payload: the stream
             // is still synchronized, answer and keep serving.
             Err(FrameError::Json(e)) => {
+                shared.obs.counter("net.frame_errors.json").inc();
                 let response = Response::Error {
                     code: ErrorCode::BadRequest,
                     message: e.to_string(),
@@ -255,18 +274,25 @@ fn handle_connection(stream: TcpStream, shared: &WorkerShared) {
                 if sender.send(&response.to_value()).is_err() {
                     break;
                 }
+                frames_out.inc();
             }
             // Desynchronized or dead stream: answer best-effort where
             // a write may still land, then drop the connection.
             Err(e @ (FrameError::BadPrefix { .. } | FrameError::Oversized { .. })) => {
+                count_frame_error(shared, &e);
                 let response = Response::Error {
                     code: ErrorCode::BadRequest,
                     message: e.to_string(),
                 };
-                let _ = sender.send(&response.to_value());
+                if sender.send(&response.to_value()).is_ok() {
+                    frames_out.inc();
+                }
                 break;
             }
-            Err(FrameError::Io(_) | FrameError::Truncated { .. }) => break,
+            Err(e @ (FrameError::Io(_) | FrameError::Truncated { .. })) => {
+                count_frame_error(shared, &e);
+                break;
+            }
         }
     }
     for id in owned {
@@ -277,9 +303,30 @@ fn handle_connection(stream: TcpStream, shared: &WorkerShared) {
     }
 }
 
+/// Ticks the per-variant frame-error counter — the registry keys
+/// mirror the [`FrameError`] variant names, so a scrape distinguishes
+/// a flaky transport (`io`, `truncated`) from a confused peer
+/// (`bad_prefix`, `oversized`, `json`).
+fn count_frame_error(shared: &WorkerShared, error: &FrameError) {
+    let variant = match error {
+        FrameError::Io(_) => "io",
+        FrameError::Truncated { .. } => "truncated",
+        FrameError::Oversized { .. } => "oversized",
+        FrameError::BadPrefix { .. } => "bad_prefix",
+        FrameError::Json(_) => "json",
+    };
+    shared
+        .obs
+        .counter(&format!("net.frame_errors.{variant}"))
+        .inc();
+}
+
 fn handle_request(request: Request, shared: &WorkerShared, owned: &mut HashSet<u64>) -> Response {
     match request {
         Request::Submit(spec) => submit(spec, shared, owned),
+        Request::Stats => Response::Stats {
+            stats: shared.obs.snapshot(),
+        },
         Request::Poll { job } => match shared.service.status(JobId::from_raw(job)) {
             Some(status) => Response::Status { job, status },
             None => Response::Error {
@@ -323,13 +370,20 @@ fn submit(spec: JobSpec, shared: &WorkerShared, owned: &mut HashSet<u64>) -> Res
     let seeds = spec.seeds;
     let sequence = shared.submits.fetch_add(1, Ordering::SeqCst);
     let inject_panic = shared.fault == Some(WorkerFault::PanicOnSubmit(sequence));
+    let obs = Arc::clone(&shared.obs);
     let submitted = shared
         .service
         .submit_with(move || -> Result<Vec<WireSolution>, String> {
             if inject_panic {
                 panic!("injected worker fault: submit {sequence} dies mid-shard");
             }
-            solve_any(&problem, kind, &settings, &seeds)
+            let solutions = solve_any(&problem, kind, &settings, &seeds)?;
+            // Flushed once per shard, after the solve — the anneal loop
+            // itself stays untouched (the determinism contract).
+            obs.counter("net.shards_solved").inc();
+            obs.counter("net.solved_replicas")
+                .add(solutions.len() as u64);
+            Ok(solutions)
         });
     match submitted {
         Ok(id) => {

@@ -5,8 +5,10 @@
 //! Covered faults: truncated frames, oversized frames, wrong-protocol
 //! peers, unknown verbs, malformed JSON, bad specs, mid-job
 //! connection drops, a worker panicking mid-shard (reassigned to the
-//! surviving worker, bit-identically), and runs with no reachable
-//! workers at all.
+//! surviving worker, bit-identically), hung peers (accepted the
+//! connection, never answer — a typed [`NetError::Timeout`], and a
+//! retirement visible in the coordinator's registry), workers killed
+//! mid-run, and runs with no reachable workers at all.
 
 use std::io::{BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
@@ -287,6 +289,157 @@ fn exhausted_retries_surface_a_typed_shard_error() {
     }
     assert_drains(&handle);
     handle.stop();
+}
+
+/// A peer that accepts connections and then never says anything — the
+/// pathological hang the timeout knobs exist for.
+fn hung_listener() -> (SocketAddr, std::net::TcpListener) {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    (addr, listener)
+}
+
+#[test]
+fn hung_peer_turns_into_a_typed_timeout_not_a_hang() {
+    let (addr, listener) = hung_listener();
+    let accepter = std::thread::spawn(move || {
+        // Accept and hold the socket open, answering nothing.
+        listener.accept().map(|(stream, _)| stream)
+    });
+
+    let mut client =
+        WorkerClient::connect_timeout(addr, Duration::from_secs(5)).expect("connect succeeds");
+    client
+        .set_timeout(Some(Duration::from_millis(50)))
+        .expect("set timeout");
+    let started = Instant::now();
+    match client.poll(0) {
+        Err(NetError::Timeout) => {}
+        other => panic!("expected NetError::Timeout, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the deadline bounded the wait"
+    );
+    drop(client);
+    let _ = accepter.join();
+}
+
+#[test]
+fn hung_worker_is_retired_and_the_survivor_finishes_bit_identically() {
+    let p = problem();
+    let (hung_addr, listener) = hung_listener();
+    let accepter = std::thread::spawn(move || {
+        // Keep accepting so every retry also sees a silent peer.
+        let mut held = Vec::new();
+        while let Ok((stream, _)) = listener.accept() {
+            held.push(stream);
+            if held.len() >= 8 {
+                break;
+            }
+        }
+        held
+    });
+    let survivor = spawn_worker(WorkerConfig::new());
+    let addrs = vec![hung_addr.to_string(), survivor.addr().to_string()];
+
+    let spec = spec_for(&p, Vec::new());
+    let (total, jobs) = shard_replica_column(&spec, 6, 33, 0, 2);
+    let coordinator = Coordinator::new(addrs)
+        .with_connect_timeout(Duration::from_secs(5))
+        .with_read_timeout(Duration::from_millis(100));
+    let merged = coordinator
+        .run(total, &jobs)
+        .expect("the survivor absorbs the hung worker's shards");
+
+    let engine = EngineKind::Software
+        .build(&p, &EngineSettings::new(40, 2))
+        .expect("builds");
+    let reference: Vec<WireSolution> = BatchRunner::serial()
+        .run(&engine, 6, 33)
+        .iter()
+        .map(WireSolution::from_solution)
+        .collect();
+    assert_eq!(merged, reference, "the hang never touched the results");
+
+    // The retirement is on the record.
+    let coord = coordinator.obs().snapshot();
+    assert!(
+        coord.counter("coord.workers_retired").unwrap_or(0) >= 1,
+        "{coord:?}"
+    );
+    assert!(
+        coord.counter("coord.shard_retries").unwrap_or(0) >= 1,
+        "{coord:?}"
+    );
+    assert_eq!(coord.counter("coord.shards_done"), Some(2));
+
+    assert_drains(&survivor);
+    survivor.stop();
+    drop(accepter); // Left blocked on accept; the process exit reaps it.
+}
+
+#[test]
+fn killed_workers_requeued_shards_are_visible_in_the_coordinator_registry() {
+    // The deterministic worker-died-mid-shard fault: the doomed
+    // worker's first solve thread dies, so by the time the coordinator
+    // sees the failure its other shard is still pending there — the
+    // retirement must requeue it, and both must be on the record.
+    let p = problem();
+    let mut faulty = WorkerConfig::new();
+    faulty.fault = Some(WorkerFault::PanicOnSubmit(0));
+    let doomed = spawn_worker(faulty);
+    let survivor = spawn_worker(WorkerConfig::new());
+    let addrs = vec![doomed.addr().to_string(), survivor.addr().to_string()];
+
+    let spec = spec_for(&p, Vec::new());
+    let (total, jobs) = shard_replica_column(&spec, 40, 77, 0, 4);
+    let coordinator = Coordinator::new(addrs).with_max_attempts(6);
+    let merged = coordinator
+        .run(total, &jobs)
+        .expect("the survivor finishes the run");
+
+    // Bit-identical despite the mid-run death.
+    let engine = EngineKind::Software
+        .build(&p, &EngineSettings::new(40, 2))
+        .expect("builds");
+    let reference: Vec<WireSolution> = BatchRunner::serial()
+        .run(&engine, 40, 77)
+        .iter()
+        .map(WireSolution::from_solution)
+        .collect();
+    assert_eq!(merged, reference);
+
+    // The registry tells the story: the worker was retired and the
+    // shards it held were requeued (then finished elsewhere).
+    let coord = coordinator.obs().snapshot();
+    assert!(
+        coord.counter("coord.workers_retired").unwrap_or(0) >= 1,
+        "no retirement recorded: {coord:?}"
+    );
+    assert!(
+        coord.counter("coord.shards_requeued").unwrap_or(0) >= 1,
+        "no requeue recorded: {coord:?}"
+    );
+    assert_eq!(coord.counter("coord.shards_done"), Some(4));
+    let events = coordinator.obs().tracer().events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, hycim_obs::Event::WorkerRetired { .. })),
+        "no WorkerRetired event: {events:?}"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, hycim_obs::Event::ShardRequeued { .. })),
+        "no ShardRequeued event: {events:?}"
+    );
+
+    assert_drains(&doomed);
+    assert_drains(&survivor);
+    doomed.stop();
+    survivor.stop();
 }
 
 #[test]

@@ -1,0 +1,152 @@
+//! Property laws for the metrics substrate.
+//!
+//! Three families, matching the contracts the wire tier and the
+//! deterministic snapshot form rely on:
+//!
+//! * histogram snapshot merge is associative and commutative (so
+//!   folding per-worker stats in any order yields one answer),
+//! * quantile brackets contain the true nearest-rank quantile of the
+//!   recorded sample set,
+//! * counter snapshots are monotone under any sequence of `add`s.
+
+use hycim_obs::{Histogram, HistogramSnapshot, ObsRegistry, HISTOGRAM_SLOTS};
+use proptest::prelude::*;
+
+/// Samples spanning the full bucket range: subnormal-ish tiny values,
+/// mid-range, past the overflow edge, and the degenerate clamps.
+fn sample_strategy() -> impl Strategy<Value = f64> {
+    (0u8..6, 0.0f64..1.0).prop_map(|(kind, x)| match kind {
+        0 => x * 1e-12,       // deep in bucket 0 territory
+        1 => x,               // around 2^0
+        2 => x * 1e6,         // mid-range buckets
+        3 => 1e10 + x * 1e12, // overflow bucket
+        4 => -x,              // negative: clamps to bucket 0
+        _ => x * 8.0,         // near small power-of-two edges
+    })
+}
+
+fn snapshot_of(samples: &[f64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// The true nearest-rank quantile of a sample set (the statistic the
+/// bucket bracket must contain).
+fn nearest_rank(samples: &[f64], q: f64) -> f64 {
+    // Degenerate inputs clamp on record, so mirror that here.
+    let mut clamped: Vec<f64> = samples
+        .iter()
+        .map(|&v| if v > 0.0 { v } else { 0.0 })
+        .collect();
+    clamped.sort_by(|a, b| a.partial_cmp(b).expect("clamped samples are finite"));
+    let n = clamped.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, clamped.len());
+    clamped[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(
+        a in proptest::collection::vec(sample_strategy(), 0..40),
+        b in proptest::collection::vec(sample_strategy(), 0..40),
+    ) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.count(), (a.len() + b.len()) as u64);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(sample_strategy(), 0..30),
+        b in proptest::collection::vec(sample_strategy(), 0..30),
+        c in proptest::collection::vec(sample_strategy(), 0..30),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        // (a + b) + c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        // a + (b + c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenation(
+        a in proptest::collection::vec(sample_strategy(), 0..40),
+        b in proptest::collection::vec(sample_strategy(), 0..40),
+    ) {
+        let mut merged = snapshot_of(&a);
+        merged.merge(&snapshot_of(&b));
+        let concatenated: Vec<f64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(merged, snapshot_of(&concatenated));
+    }
+
+    #[test]
+    fn quantile_brackets_contain_the_true_quantile(
+        samples in proptest::collection::vec(sample_strategy(), 1..80),
+        q in 0.0f64..=1.0,
+    ) {
+        let snapshot = snapshot_of(&samples);
+        let truth = nearest_rank(&samples, q);
+        let (lower, upper) = snapshot.quantile_bounds(q);
+        prop_assert!(
+            lower <= truth && truth <= upper,
+            "q={q}: true quantile {truth} outside bracket ({lower}, {upper}]"
+        );
+        prop_assert!(snapshot.buckets.len() == HISTOGRAM_SLOTS);
+    }
+
+    #[test]
+    fn counter_snapshots_are_monotone(
+        increments in proptest::collection::vec(0u64..1_000_000, 1..50),
+    ) {
+        let obs = ObsRegistry::new();
+        let counter = obs.counter("law.monotone");
+        let mut previous = 0u64;
+        for n in increments {
+            counter.add(n);
+            let seen = obs.snapshot().counter("law.monotone").expect("registered");
+            prop_assert!(seen >= previous, "counter went backwards: {previous} -> {seen}");
+            prop_assert_eq!(seen, previous + n);
+            previous = seen;
+        }
+    }
+
+    #[test]
+    fn stable_rendering_is_a_pure_function_of_the_samples(
+        samples in proptest::collection::vec(sample_strategy(), 0..40),
+        events in 0u64..1000,
+    ) {
+        let render = |work: &[f64]| {
+            let obs = ObsRegistry::new();
+            obs.counter("law.events").add(events);
+            let h = obs.histogram("law.sizes");
+            for &v in work {
+                h.record(v);
+            }
+            // Wall-clock-flavored metrics must not disturb the form.
+            obs.histogram("timing.law.seconds").record(v_noise(work));
+            obs.snapshot().render_stable()
+        };
+        prop_assert_eq!(render(&samples), render(&samples));
+    }
+}
+
+/// A run-varying wall-clock stand-in (anything derived from the data
+/// works — the point is that `render_stable` never sees it).
+fn v_noise(work: &[f64]) -> f64 {
+    work.iter().copied().sum::<f64>().abs() + 1e-6
+}

@@ -7,9 +7,11 @@ use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use hycim_cop::CopProblem;
 use hycim_core::{default_threads, replica_seed, Engine};
+use hycim_obs::{Counter, Event, Gauge, Histogram, ObsRegistry};
 
 use crate::{FetchError, JobId, JobResult, JobStatus, SubmitError};
 
@@ -28,6 +30,7 @@ type ErasedTask = Box<dyn FnOnce() -> ErasedResult + Send>;
 pub struct ServiceConfig {
     workers: usize,
     queue_capacity: usize,
+    obs: Option<Arc<ObsRegistry>>,
 }
 
 impl ServiceConfig {
@@ -38,6 +41,7 @@ impl ServiceConfig {
         Self {
             workers: default_threads(),
             queue_capacity: 1024,
+            obs: None,
         }
     }
 
@@ -62,6 +66,15 @@ impl ServiceConfig {
     pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
         assert!(queue_capacity > 0, "need a non-empty queue");
         self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Publishes the service's metrics and job-lifecycle events into
+    /// `obs` (under `service.*` names — see the `hycim-obs` crate
+    /// docs). Without this the service keeps a private registry,
+    /// readable via [`JobService::obs`].
+    pub fn with_obs(mut self, obs: Arc<ObsRegistry>) -> Self {
+        self.obs = Some(obs);
         self
     }
 
@@ -135,6 +148,9 @@ struct JobEntry {
     /// Set by [`JobService::forget`] on a running job: the completion
     /// path drops the entry instead of storing its result.
     forgotten: bool,
+    /// When the job entered the queue — the start of the
+    /// submit→fetch latency observation.
+    submitted: Instant,
 }
 
 /// Mutable service state behind one mutex: the wait queue, the job
@@ -155,6 +171,45 @@ struct Shared {
     /// Wakes [`JobService::wait`] callers when any job turns terminal.
     done_cv: Condvar,
     queue_capacity: usize,
+    metrics: ServiceMetrics,
+}
+
+/// The service's registry handle plus cached metric handles, so the
+/// submit/complete paths never re-lock the registry's name table.
+struct ServiceMetrics {
+    obs: Arc<ObsRegistry>,
+    submitted: Arc<Counter>,
+    rejected_queue_full: Arc<Counter>,
+    jobs_done: Arc<Counter>,
+    jobs_failed: Arc<Counter>,
+    jobs_cancelled: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    submit_to_fetch: Arc<Histogram>,
+}
+
+impl ServiceMetrics {
+    fn new(obs: Arc<ObsRegistry>) -> Self {
+        Self {
+            submitted: obs.counter("service.submitted"),
+            rejected_queue_full: obs.counter("service.rejected_queue_full"),
+            jobs_done: obs.counter("service.jobs_done"),
+            jobs_failed: obs.counter("service.jobs_failed"),
+            jobs_cancelled: obs.counter("service.jobs_cancelled"),
+            queue_depth: obs.gauge("service.queue_depth"),
+            submit_to_fetch: obs.histogram("timing.service.submit_to_fetch_seconds"),
+            obs,
+        }
+    }
+
+    /// Counts `n` cancellations and emits their lifecycle events.
+    fn cancelled(&self, ids: impl IntoIterator<Item = JobId>) {
+        let mut n = 0;
+        for id in ids {
+            self.obs.tracer().record(Event::JobCancelled { job: id.0 });
+            n += 1;
+        }
+        self.jobs_cancelled.add(n);
+    }
 }
 
 /// A running solver service: submit jobs from any thread, poll their
@@ -172,6 +227,7 @@ pub struct JobService {
 impl JobService {
     /// Spawns the worker pool and returns the running service.
     pub fn start(config: ServiceConfig) -> Self {
+        let obs = config.obs.unwrap_or_default();
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -182,6 +238,7 @@ impl JobService {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             queue_capacity: config.queue_capacity,
+            metrics: ServiceMetrics::new(obs),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -322,9 +379,14 @@ impl JobService {
             }
             JobStatus::Done => {
                 let erased = entry.result.take().expect("done jobs hold a result");
+                let latency = entry.submitted.elapsed();
                 match erased.downcast::<R>() {
                     Ok(value) => {
                         state.jobs.remove(&id.0);
+                        self.shared
+                            .metrics
+                            .submit_to_fetch
+                            .record(latency.as_secs_f64());
                         Ok(*value)
                     }
                     Err(erased) => {
@@ -393,9 +455,14 @@ impl JobService {
             }
             JobStatus::Done => {
                 let erased = entry.result.take().expect("done jobs hold a result");
+                let latency = entry.submitted.elapsed();
                 match erased.downcast::<JobResult<P>>() {
                     Ok(result) => {
                         state.jobs.remove(&id.0);
+                        self.shared
+                            .metrics
+                            .submit_to_fetch
+                            .record(latency.as_secs_f64());
                         Ok(*result)
                     }
                     Err(erased) => {
@@ -439,6 +506,11 @@ impl JobService {
         entry.status = JobStatus::Cancelled;
         entry.task = None;
         state.queue.retain(|&queued| queued != id);
+        self.shared
+            .metrics
+            .queue_depth
+            .set(state.queue.len() as u64);
+        self.shared.metrics.cancelled([id]);
         drop(state);
         self.shared.done_cv.notify_all();
         true
@@ -482,6 +554,11 @@ impl JobService {
                 entry.task = None;
                 state.queue.retain(|&queued| queued != id);
                 state.jobs.remove(&id.0);
+                self.shared
+                    .metrics
+                    .queue_depth
+                    .set(state.queue.len() as u64);
+                self.shared.metrics.cancelled([id]);
                 DisposeOutcome::Cancelled
             }
             JobStatus::Running => {
@@ -526,6 +603,8 @@ impl JobService {
             entry.status = JobStatus::Cancelled;
             entry.task = None;
         }
+        self.shared.metrics.queue_depth.set(0);
+        self.shared.metrics.cancelled(queued.iter().copied());
         drop(state);
         if !queued.is_empty() {
             self.shared.done_cv.notify_all();
@@ -553,6 +632,15 @@ impl JobService {
         self.workers.len()
     }
 
+    /// The registry this service publishes into: the one handed to
+    /// [`ServiceConfig::with_obs`], or the service's private registry
+    /// otherwise. Metric names are listed in the `hycim-obs` docs
+    /// (`service.submitted`, `service.queue_depth`,
+    /// `timing.service.submit_to_fetch_seconds`, ...).
+    pub fn obs(&self) -> &Arc<ObsRegistry> {
+        &self.shared.metrics.obs
+    }
+
     /// Stops accepting submissions, lets the workers drain every
     /// still-queued job, and joins them. Equivalent to dropping the
     /// service, as an explicit statement of intent.
@@ -565,11 +653,13 @@ impl JobService {
     /// Holding the lock across `make` keeps the capacity check and
     /// the push atomic (task construction is a few moves, no solving).
     fn enqueue(&self, make: impl FnOnce(JobId) -> ErasedTask) -> Result<JobId, SubmitError> {
+        let metrics = &self.shared.metrics;
         let mut state = self.shared.state.lock().expect("service state lock");
         if state.shutdown {
             return Err(SubmitError::ShuttingDown);
         }
         if state.queue.len() >= self.shared.queue_capacity {
+            metrics.rejected_queue_full.inc();
             return Err(SubmitError::QueueFull {
                 capacity: self.shared.queue_capacity,
             });
@@ -584,9 +674,16 @@ impl JobService {
                 result: None,
                 error: None,
                 forgotten: false,
+                submitted: Instant::now(),
             },
         );
         state.queue.push_back(id);
+        metrics.submitted.inc();
+        metrics.queue_depth.set(state.queue.len() as u64);
+        metrics
+            .obs
+            .tracer()
+            .record(Event::JobSubmitted { job: id.0 });
         drop(state);
         self.shared.work_cv.notify_one();
         Ok(id)
@@ -611,6 +708,7 @@ impl Drop for JobService {
 /// worker survives. Exits once shutdown is flagged *and* the queue is
 /// drained.
 fn worker_loop(shared: &Shared) {
+    let metrics = &shared.metrics;
     loop {
         let (id, task) = {
             let mut state = shared.state.lock().expect("service state lock");
@@ -619,6 +717,8 @@ fn worker_loop(shared: &Shared) {
                     let entry = state.jobs.get_mut(&id.0).expect("queued job has an entry");
                     entry.status = JobStatus::Running;
                     let task = entry.task.take().expect("queued job has a task");
+                    metrics.queue_depth.set(state.queue.len() as u64);
+                    metrics.obs.tracer().record(Event::JobStarted { job: id.0 });
                     break (id, task);
                 }
                 if state.shutdown {
@@ -633,6 +733,16 @@ fn worker_loop(shared: &Shared) {
             .jobs
             .get_mut(&id.0)
             .expect("running job keeps its entry");
+        match &outcome {
+            Ok(_) => {
+                metrics.jobs_done.inc();
+                metrics.obs.tracer().record(Event::JobDone { job: id.0 });
+            }
+            Err(_) => {
+                metrics.jobs_failed.inc();
+                metrics.obs.tracer().record(Event::JobFailed { job: id.0 });
+            }
+        }
         if entry.forgotten {
             // The caller disowned the job mid-run: discard instead of
             // retaining a result nobody will fetch.
@@ -959,6 +1069,80 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         let _ = ServiceConfig::new().with_workers(0);
+    }
+
+    #[test]
+    fn metrics_track_the_job_lifecycle() {
+        let engine = maxcut_engine(10);
+        let obs = Arc::new(hycim_obs::ObsRegistry::new());
+        let service = JobService::start(
+            ServiceConfig::new()
+                .with_workers(1)
+                .with_queue_capacity(1)
+                .with_obs(Arc::clone(&obs)),
+        );
+
+        // Done path, with a submit→fetch latency observation.
+        let done = service.submit(&engine, 1).unwrap();
+        service
+            .wait_fetch::<hycim_cop::maxcut::MaxCut>(done)
+            .unwrap();
+
+        // QueueFull path: park the worker, fill the 1-slot queue,
+        // then overflow it.
+        let head = service.submit_batch(&engine, 64, 2).unwrap();
+        while service.status(head) == Some(JobStatus::Queued) {
+            std::thread::yield_now();
+        }
+        let queued = service.submit(&engine, 3).unwrap();
+        let overflow = service.submit(&engine, 4);
+        assert!(matches!(overflow, Err(SubmitError::QueueFull { .. })));
+
+        // Cancelled path.
+        assert!(service.cancel(queued));
+        service.forget(head);
+        service.wait(head);
+
+        let snapshot = obs.snapshot();
+        assert_eq!(snapshot.counter("service.submitted"), Some(3));
+        assert_eq!(snapshot.counter("service.rejected_queue_full"), Some(1));
+        assert_eq!(snapshot.counter("service.jobs_cancelled"), Some(1));
+        assert!(snapshot.counter("service.jobs_done").unwrap() >= 1);
+        assert_eq!(snapshot.counter("service.jobs_failed"), Some(0));
+        assert_eq!(snapshot.gauge("service.queue_depth"), Some(0));
+        assert_eq!(
+            snapshot
+                .histogram("timing.service.submit_to_fetch_seconds")
+                .map(|h| h.count()),
+            Some(1)
+        );
+        // The lifecycle shows up in the tracer too.
+        let events = obs.tracer().events();
+        assert!(events.contains(&hycim_obs::Event::JobSubmitted { job: done.0 }));
+        assert!(events.contains(&hycim_obs::Event::JobDone { job: done.0 }));
+        assert!(events.contains(&hycim_obs::Event::JobCancelled { job: queued.0 }));
+
+        // A service without with_obs still tracks privately.
+        let private = JobService::start(ServiceConfig::new().with_workers(1));
+        let id = private.submit(&engine, 9).unwrap();
+        private.wait(id);
+        assert_eq!(
+            private.obs().snapshot().counter("service.submitted"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn failed_jobs_are_counted() {
+        let service = JobService::start(ServiceConfig::new().with_workers(1));
+        let id = service
+            .submit_with(|| -> u64 { panic!("metric test panic") })
+            .unwrap();
+        service.wait(id);
+        assert_eq!(
+            service.obs().snapshot().counter("service.jobs_failed"),
+            Some(1)
+        );
     }
 
     #[test]

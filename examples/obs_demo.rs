@@ -1,0 +1,92 @@
+//! Observability demo: scrape a loopback worker **mid-run** over the
+//! `stats` wire verb, then read the full story — frame counters,
+//! shard counters, job-service latency, and the coordinator's own
+//! dispatch registry — once the run completes.
+//!
+//! Everything printed from `render_stable()` is deterministic for a
+//! fixed workload; wall-clock lives only in the `-- timing --`
+//! section and the Prometheus exposition.
+//!
+//! Run with: `cargo run --release --example obs_demo`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hycim::cop::maxcut::MaxCut;
+use hycim::cop::AnyProblem;
+use hycim::net::{
+    shard_replica_column, Coordinator, JobSpec, WorkerClient, WorkerConfig, WorkerServer,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One loopback worker, exactly as the distributed tests run it.
+    let worker = WorkerServer::bind("127.0.0.1:0", WorkerConfig::new())?.spawn();
+    let addr = worker.addr().to_string();
+    println!("worker up on {addr}");
+
+    // A replica column chunky enough that the run is observable while
+    // still in flight.
+    let problem = MaxCut::random(16, 0.5, 7);
+    let any = AnyProblem::from(problem);
+    let spec = JobSpec {
+        family: any.family_tag().to_string(),
+        problem: any.to_wire(),
+        engine: "hycim".to_string(),
+        sweeps: 300,
+        hardware_seed: 1,
+        record_trace: true,
+        seeds: Vec::new(),
+    };
+    let (total, jobs) = shard_replica_column(&spec, 24, 99, 0, 4);
+
+    // Drive the run on a background thread; scrape from this one.
+    let coordinator = Arc::new(
+        Coordinator::new(vec![addr.clone()])
+            .with_connect_timeout(Duration::from_secs(5))
+            .with_read_timeout(Duration::from_secs(5)),
+    );
+    let runner = {
+        let coordinator = Arc::clone(&coordinator);
+        std::thread::spawn(move || coordinator.run(total, &jobs))
+    };
+
+    // --- the mid-run scrape ------------------------------------------
+    let mut scraper = WorkerClient::connect(addr.as_str())?;
+    scraper.set_timeout(Some(Duration::from_secs(5)))?;
+    let mid = scraper.stats()?;
+    println!(
+        "mid-run scrape: frames_in={} queue_depth={} shards_solved={}",
+        mid.counter("net.frames_in").unwrap_or(0),
+        mid.gauge("service.queue_depth").unwrap_or(0),
+        mid.counter("net.shards_solved").unwrap_or(0),
+    );
+    assert!(
+        mid.counter("net.frames_in").unwrap_or(0) > 0,
+        "the worker served frames while the run was in flight"
+    );
+
+    let merged = runner.join().expect("runner thread")?;
+    println!("run merged {} replica solutions", merged.len());
+
+    // --- the settled story -------------------------------------------
+    let done = scraper.stats()?;
+    println!("\nworker registry (stable section):");
+    print!("{}", done.render_stable());
+    assert_eq!(done.counter("net.shards_solved"), Some(4));
+    assert!(done.counter("net.frames_out").unwrap_or(0) > 0);
+
+    println!("\ncoordinator registry:");
+    print!("{}", coordinator.obs().snapshot().render());
+    for event in coordinator.obs().tracer().events() {
+        println!("  event: {event}");
+    }
+
+    println!("\nPrometheus exposition (first lines):");
+    for line in done.render_prometheus().lines().take(8) {
+        println!("  {line}");
+    }
+
+    worker.stop();
+    println!("\nworker stopped; demo complete");
+    Ok(())
+}

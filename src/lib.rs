@@ -18,6 +18,7 @@
 //! | [`core`] | `hycim-core` | Generic engines (`HyCimEngine`, `BankEngine`, `DquboEngine`, `SoftwareEngine`), the parallel `BatchRunner`, success-rate harness |
 //! | [`service`] | `hycim-service` | Job-service front-end: bounded-queue worker pool serving solve jobs to concurrent callers (submit → poll → fetch) |
 //! | [`net`] | `hycim-net` | Framed-JSON wire protocol over TCP: worker servers bridging jobs onto the service pool, the shard-planning coordinator, bit-identical distributed solves |
+//! | [`obs`] | `hycim-obs` | Observability: dependency-free metrics registry (counters, gauges, mergeable histograms), bounded event tracer, Prometheus-style exposition, deterministic snapshot form |
 //!
 //! The crate-level narrative — who calls whom, and why the layers cut
 //! where they do — lives in
@@ -52,6 +53,7 @@ pub use hycim_cop as cop;
 pub use hycim_core as core;
 pub use hycim_fefet as fefet;
 pub use hycim_net as net;
+pub use hycim_obs as obs;
 pub use hycim_qubo as qubo;
 pub use hycim_service as service;
 
@@ -75,6 +77,7 @@ pub mod prelude {
         HyCimEngine, HyCimSolver, HycimError, SoftwareEngine, SoftwareSolver, Solution,
     };
     pub use hycim_net::{Coordinator, JobSpec, WireSolution, WorkerClient, WorkerServer};
+    pub use hycim_obs::{Counter, EventTracer, Gauge, Histogram, ObsRegistry, Snapshot};
     pub use hycim_qubo::{
         Assignment, DeltaEngine, InequalityQubo, IsingModel, LinearConstraint, LocalFieldState,
         MultiInequalityQubo, QuboMatrix,

@@ -23,6 +23,8 @@ fn facade_modules_alias_subcrates() {
     );
     same::<hycim::net::WireSolution>(std::convert::identity::<hycim_net::WireSolution>);
     same::<hycim::service::DisposeOutcome>(std::convert::identity::<hycim_service::DisposeOutcome>);
+    same::<hycim::obs::Snapshot>(std::convert::identity::<hycim_obs::Snapshot>);
+    same::<hycim::obs::Event>(std::convert::identity::<hycim_obs::Event>);
 }
 
 /// The prelude surface named in the facade docs resolves and is
@@ -84,6 +86,31 @@ fn net_surface_round_trips_a_job() {
         .expect("builds");
     let local = WireSolution::from_solution(&engine.solve(9));
     assert_eq!(fetched, vec![local]);
+    handle.stop();
+}
+
+/// The observability surface is reachable through the facade and the
+/// prelude: record through prelude types only, then check the
+/// deterministic snapshot form and the wire `stats` verb against a
+/// loopback worker.
+#[test]
+fn obs_surface_records_and_scrapes() {
+    let registry = ObsRegistry::new();
+    registry.counter("facade.test").add(3);
+    registry.gauge("facade.level").set(2);
+    registry.histogram("facade.sizes").record(8.0);
+    let snapshot: Snapshot = registry.snapshot();
+    assert_eq!(snapshot.counter("facade.test"), Some(3));
+    assert!(snapshot.render_stable().contains("facade.test 3"));
+    assert!(snapshot.render_prometheus().contains("hycim_facade_test 3"));
+
+    // The wire scrape goes through the same facade surface.
+    let handle = WorkerServer::bind("127.0.0.1:0", hycim::net::WorkerConfig::new())
+        .expect("bind loopback")
+        .spawn();
+    let mut client = WorkerClient::connect(handle.addr()).expect("connect");
+    let scraped = client.stats().expect("stats verb");
+    assert!(scraped.counter("net.frames_in").unwrap_or(0) >= 1);
     handle.stop();
 }
 

@@ -24,16 +24,20 @@ use crate::study::{build_instance, StudyResult};
 /// Executes [`StudyRecipe`]s by sharding every cell over wire workers.
 #[derive(Debug, Clone)]
 pub struct DistributedStudyRunner {
-    addrs: Vec<String>,
     shards: usize,
+    coordinator: Coordinator,
 }
 
 impl DistributedStudyRunner {
     /// A runner dispatching to the given worker addresses, with one
-    /// shard per worker by default.
+    /// shard per worker by default and a default [`Coordinator`]
+    /// (local fallback and seeded backoff on).
     pub fn new(addrs: Vec<String>) -> Self {
         let shards = addrs.len().max(1);
-        Self { addrs, shards }
+        Self {
+            shards,
+            coordinator: Coordinator::new(addrs),
+        }
     }
 
     /// Overrides how many shards each replica column is split into
@@ -49,6 +53,17 @@ impl DistributedStudyRunner {
         self
     }
 
+    /// Replaces the dispatching [`Coordinator`] wholesale — the hook
+    /// for resilience knobs (timeouts, probe schedules, backoff,
+    /// strict no-fallback mode) and for the chaos tests, which route
+    /// a study through fault-injection proxies. The coordinator's own
+    /// address list is used; the one given to [`new`](Self::new) is
+    /// superseded.
+    pub fn with_coordinator(mut self, coordinator: Coordinator) -> Self {
+        self.coordinator = coordinator;
+        self
+    }
+
     /// Runs the full grid of a recipe over the workers.
     ///
     /// # Errors
@@ -59,7 +74,7 @@ impl DistributedStudyRunner {
     /// error, stringified with its cell context).
     pub fn run(&self, recipe: &StudyRecipe) -> Result<StudyResult, String> {
         let started = Instant::now();
-        let coordinator = Coordinator::new(self.addrs.clone());
+        let coordinator = &self.coordinator;
         let mut problems = Vec::new();
         let mut total_iterations = 0u64;
         for (spec, n, key) in recipe.instances() {

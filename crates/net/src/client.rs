@@ -49,7 +49,9 @@ pub enum NetError {
     /// Shard results could not be merged (a coordinator-side bug or a
     /// worker returning the wrong count).
     Shard(ShardError),
-    /// A shard ran out of workers to retry on.
+    /// A shard ran out of workers to retry on (and, when local
+    /// fallback is enabled, the coordinator host could not solve it
+    /// either).
     ShardExhausted {
         /// Flat-grid start of the failed shard.
         start: usize,
@@ -57,11 +59,17 @@ pub enum NetError {
         end: usize,
         /// Dispatch attempts made.
         attempts: usize,
-        /// The failure of the last attempt.
-        last: String,
+        /// Every per-attempt failure message, oldest first — the full
+        /// diagnostic chain, so operators can see which worker or
+        /// fault killed each attempt. The final entry is the failure
+        /// that exhausted the shard.
+        chain: Vec<String>,
     },
     /// The coordinator was given no worker addresses.
     NoWorkers,
+    /// A coordinator or client knob was configured with an invalid
+    /// value (e.g. a zero attempt bound).
+    Config(String),
 }
 
 impl fmt::Display for NetError {
@@ -80,12 +88,21 @@ impl fmt::Display for NetError {
                 start,
                 end,
                 attempts,
-                last,
-            } => write!(
-                f,
-                "shard [{start}, {end}) failed after {attempts} attempts; last error: {last}"
-            ),
+                chain,
+            } => {
+                write!(f, "shard [{start}, {end}) failed after {attempts} attempts")?;
+                if chain.is_empty() {
+                    write!(f, " (never attempted)")
+                } else {
+                    write!(f, "; failure chain:")?;
+                    for (i, failure) in chain.iter().enumerate() {
+                        write!(f, " [{}] {failure}", i + 1)?;
+                    }
+                    Ok(())
+                }
+            }
             NetError::NoWorkers => write!(f, "no worker addresses given"),
+            NetError::Config(message) => write!(f, "invalid configuration: {message}"),
         }
     }
 }
@@ -198,9 +215,23 @@ impl WorkerClient {
         Ok(())
     }
 
+    /// Sets a write deadline: a peer that accepts the connection but
+    /// stops draining its receive buffer (a stalled reader) turns a
+    /// large request into [`NetError::Timeout`] once the socket
+    /// buffers fill, instead of blocking the coordinator forever.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn set_write_timeout(&mut self, timeout: Option<Duration>) -> Result<(), NetError> {
+        self.receiver_stream().set_write_timeout(timeout)?;
+        Ok(())
+    }
+
     fn receiver_stream(&self) -> &TcpStream {
-        // The receiver wraps a clone of the sender's stream; timeouts
-        // apply per-clone, so set it on the reading clone.
+        // The receiver wraps a clone of the sender's stream. Clones
+        // share the underlying socket, so options set here govern the
+        // sending half too.
         self.receiver_ref().get_ref()
     }
 

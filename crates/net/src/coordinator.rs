@@ -1,19 +1,47 @@
 //! The coordinator: splits a replica grid into shards, dispatches
-//! them to workers, retries failures on surviving workers, and merges
-//! the results bit-identically to a local run.
+//! them to workers, retries failures with seeded backoff, probes and
+//! readmits recovered workers, and merges the results bit-identically
+//! to a local run.
 //!
-//! Retry policy: a shard is re-dispatched (to the next surviving
-//! worker) whenever its attempt fails for any reason — transport
-//! death, a panicked solve, a refused spec — up to a per-shard
-//! attempt bound. A worker whose connection errors, or whose job
-//! fails, is dropped from the rotation (conservatively: a failing
-//! pool member is suspect). Because every spec carries its exact
-//! seeds, a retried shard recomputes byte-for-byte the same solutions,
-//! so retries are invisible in the merged result. When a shard's
-//! attempts are exhausted, the whole run fails with
-//! [`NetError::ShardExhausted`] — never a hang, never a partial
-//! merge.
+//! # Resilience model
+//!
+//! Every worker is in one of three states:
+//!
+//! * **Live** — in the dispatch rotation. A failure (transport death,
+//!   a panicked solve, a refused spec) counts against a per-worker
+//!   consecutive-failure circuit breaker; tripping it moves the
+//!   worker to probation and requeues its in-flight shards.
+//! * **Probation** — out of the rotation, on a deterministic probe
+//!   schedule measured in dispatch rounds (base penalty, doubling per
+//!   failed probe). An elapsed penalty triggers a cheap health probe
+//!   (the `stats` wire verb); success readmits the worker, failure
+//!   doubles the penalty. The schedule is counted in loop rounds, not
+//!   wall-clock, so a replayed run probes at the same points.
+//! * **Dead** — the probe budget is spent; the worker is never
+//!   contacted again in this run.
+//!
+//! Between retry attempts of one shard the coordinator sleeps an
+//! exponentially growing, jittered backoff. The jitter is drawn from
+//! a dedicated `replica_seed(seed, BACKOFF_ROLE, attempt)` stream —
+//! never from the wall clock — so timing noise cannot leak into
+//! anything derived from the run, and the sleep itself is injectable
+//! (and skippable in tests) via [`Coordinator::with_sleep_fn`].
+//!
+//! When a shard exhausts its attempt bound, or the whole fleet is
+//! dead or empty, the coordinator **degrades gracefully**: it runs
+//! the remaining shards locally through
+//! [`BatchRunner`](hycim_core::BatchRunner) over the spec's exact
+//! pre-derived seeds, so the merged result is still byte-identical to
+//! an all-local run. [`NetError::ShardExhausted`] — now carrying the
+//! full per-attempt failure chain — is reserved for shards that *no
+//! path* can finish (e.g. a spec every worker and the local host
+//! refuse), or for coordinators that opted out via
+//! [`with_local_fallback(false)`](Coordinator::with_local_fallback).
+//! Because every spec carries its exact seeds, a retried, readmitted,
+//! or locally solved shard recomputes byte-for-byte the same
+//! solutions — retries are invisible in the merged result.
 
+use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -21,7 +49,68 @@ use hycim_core::{merge_shards, replica_seed, Shard, ShardPlan};
 use hycim_obs::{Event, ObsRegistry, Snapshot};
 
 use crate::client::{NetError, WorkerClient};
+use crate::local;
 use crate::proto::{JobSpec, WireSolution};
+
+/// Role index of the backoff-jitter stream in
+/// [`hycim_core::replica_seed`] — distinct from every
+/// role the study recipes use (instance 0, solve 1, hardware 2), so
+/// backoff draws can never collide with a solve stream.
+pub const BACKOFF_ROLE: u64 = 0xB0FF;
+
+/// Seeded exponential backoff between retry attempts of one shard.
+///
+/// Attempt `a` (1-based) waits `base · 2^(a-1)`, scaled by a jitter
+/// factor in `[0.5, 1.5)` drawn from
+/// `replica_seed(seed, BACKOFF_ROLE, a)`, and capped at `cap`. The
+/// delay is a pure function of `(seed, attempt)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffConfig {
+    /// First-retry delay.
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Root of the jitter stream.
+    pub seed: u64,
+}
+
+impl BackoffConfig {
+    /// Defaults: 2 ms base, 100 ms cap, jitter stream rooted at
+    /// `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(100),
+            seed,
+        }
+    }
+
+    /// Overrides the first-retry delay.
+    pub fn with_base(mut self, base: Duration) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Overrides the per-delay cap.
+    pub fn with_cap(mut self, cap: Duration) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// The capped, jittered delay before retry attempt `attempt`
+    /// (1-based; attempt 0 — the first dispatch — never waits).
+    pub fn delay(&self, attempt: usize) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let doublings = (attempt - 1).min(16) as u32;
+        let raw = self.base.as_secs_f64() * f64::from(2u32.pow(doublings));
+        let draw = replica_seed(self.seed, BACKOFF_ROLE, attempt as u64);
+        // 53 uniform bits -> [0, 1), mapped onto a [0.5, 1.5) factor.
+        let jitter = 0.5 + (draw >> 11) as f64 / (1u64 << 53) as f64;
+        Duration::from_secs_f64((raw * jitter).min(self.cap.as_secs_f64()))
+    }
+}
 
 /// One unit of dispatch: a shard of the flat grid and the spec that
 /// computes exactly that shard.
@@ -63,25 +152,81 @@ pub fn shard_replica_column(
     (plan.total(), jobs)
 }
 
-/// Dispatches shard jobs across a set of workers.
-#[derive(Debug, Clone)]
+/// The injectable sleep used for backoff waits — tests swap in a
+/// recorder so retry schedules are asserted, not slept through.
+pub type SleepFn = Arc<dyn Fn(Duration) + Send + Sync>;
+
+/// Dispatches shard jobs across a set of workers, with worker health
+/// tracking, seeded retry backoff, and local-fallback graceful
+/// degradation (see the module docs for the full model).
+#[derive(Clone)]
 pub struct Coordinator {
     addrs: Vec<String>,
     max_attempts: usize,
     poll_interval: Duration,
     read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
     connect_timeout: Option<Duration>,
+    failure_threshold: u32,
+    probe_base_rounds: u64,
+    probe_limit: u32,
+    backoff: Option<BackoffConfig>,
+    local_fallback: bool,
+    sleep: SleepFn,
     obs: Arc<ObsRegistry>,
+}
+
+impl fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("addrs", &self.addrs)
+            .field("max_attempts", &self.max_attempts)
+            .field("read_timeout", &self.read_timeout)
+            .field("write_timeout", &self.write_timeout)
+            .field("connect_timeout", &self.connect_timeout)
+            .field("failure_threshold", &self.failure_threshold)
+            .field("probe_base_rounds", &self.probe_base_rounds)
+            .field("probe_limit", &self.probe_limit)
+            .field("backoff", &self.backoff)
+            .field("local_fallback", &self.local_fallback)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Coordinator-side view of one worker address.
+enum Worker {
+    /// In the dispatch rotation.
+    Live {
+        client: WorkerClient,
+        /// Consecutive failures since the last success (the circuit
+        /// breaker's count).
+        failures: u32,
+    },
+    /// Out of the rotation, awaiting its next health probe.
+    Probation {
+        /// Round the probation (or last failed probe) started.
+        since: u64,
+        /// Failed probes so far; sets the doubling penalty.
+        probes_failed: u32,
+        /// Most recent failure, for diagnostics.
+        last: String,
+    },
+    /// Probe budget exhausted; never contacted again this run.
+    Dead {
+        /// The failure that spent the last probe.
+        last: String,
+    },
 }
 
 enum Slot {
     /// Waiting for (re-)dispatch.
-    Todo { attempts: usize, last: String },
+    Todo { attempts: usize, chain: Vec<String> },
     /// Submitted; `attempts` includes this one.
     Pending {
         worker: usize,
         job: u64,
         attempts: usize,
+        chain: Vec<String>,
     },
     /// Fetched.
     Done(Vec<WireSolution>),
@@ -90,7 +235,7 @@ enum Slot {
 impl Coordinator {
     /// A coordinator over the given worker addresses. The default
     /// attempt bound lets every shard try each worker once, plus one
-    /// retry.
+    /// retry; local fallback and seeded backoff are on by default.
     pub fn new(addrs: Vec<String>) -> Self {
         let max_attempts = addrs.len() + 1;
         Self {
@@ -98,28 +243,48 @@ impl Coordinator {
             max_attempts,
             poll_interval: Duration::from_millis(2),
             read_timeout: None,
+            write_timeout: None,
             connect_timeout: None,
+            failure_threshold: 1,
+            probe_base_rounds: 4,
+            probe_limit: 3,
+            backoff: Some(BackoffConfig::new(0)),
+            local_fallback: true,
+            sleep: Arc::new(std::thread::sleep),
             obs: Arc::new(ObsRegistry::new()),
         }
     }
 
     /// Overrides the per-shard attempt bound.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `max_attempts == 0`.
-    pub fn with_max_attempts(mut self, max_attempts: usize) -> Self {
-        assert!(max_attempts > 0, "need at least one attempt");
+    /// [`NetError::Config`] if `max_attempts == 0` (a shard must get
+    /// at least one attempt).
+    pub fn with_max_attempts(mut self, max_attempts: usize) -> Result<Self, NetError> {
+        if max_attempts == 0 {
+            return Err(NetError::Config(
+                "max_attempts must be at least 1 (every shard needs one dispatch attempt)".into(),
+            ));
+        }
         self.max_attempts = max_attempts;
-        self
+        Ok(self)
     }
 
     /// Bounds every per-request wait on a worker: a peer that accepts
     /// the connection but goes silent turns into [`NetError::Timeout`]
-    /// — which retires it and requeues its shards — instead of
+    /// — which suspends it and requeues its shards — instead of
     /// hanging the whole run.
     pub fn with_read_timeout(mut self, timeout: Duration) -> Self {
         self.read_timeout = Some(timeout);
+        self
+    }
+
+    /// Bounds every request write: a worker that stops draining its
+    /// socket (a stalled reader) turns into [`NetError::Timeout`]
+    /// once the buffers fill.
+    pub fn with_write_timeout(mut self, timeout: Duration) -> Self {
+        self.write_timeout = Some(timeout);
         self
     }
 
@@ -128,6 +293,58 @@ impl Coordinator {
     /// minutes).
     pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
         self.connect_timeout = Some(timeout);
+        self
+    }
+
+    /// Consecutive failures a live worker absorbs before the circuit
+    /// breaker moves it to probation (clamped to at least 1; default
+    /// 1 — the first failure suspends, the conservative policy).
+    pub fn with_failure_threshold(mut self, failures: u32) -> Self {
+        self.failure_threshold = failures.max(1);
+        self
+    }
+
+    /// The probation schedule: the first probe waits `base_rounds`
+    /// dispatch rounds (clamped to at least 1), each failed probe
+    /// doubles the wait, and after `probe_limit` failed probes the
+    /// worker is declared dead for the rest of the run. Defaults:
+    /// 4 rounds, 3 probes.
+    pub fn with_probe_schedule(mut self, base_rounds: u64, probe_limit: u32) -> Self {
+        self.probe_base_rounds = base_rounds.max(1);
+        self.probe_limit = probe_limit;
+        self
+    }
+
+    /// Overrides the seeded retry backoff (see [`BackoffConfig`]).
+    pub fn with_backoff(mut self, backoff: BackoffConfig) -> Self {
+        self.backoff = Some(backoff);
+        self
+    }
+
+    /// Disables the retry backoff entirely (retries redispatch
+    /// immediately — the pre-resilience behavior).
+    pub fn without_backoff(mut self) -> Self {
+        self.backoff = None;
+        self
+    }
+
+    /// Enables or disables graceful degradation. When enabled (the
+    /// default), shards that exhaust their attempts — or a fleet that
+    /// is entirely dead or empty — are solved on the coordinator host
+    /// through [`BatchRunner`](hycim_core::BatchRunner), keeping the
+    /// merged result byte-identical to an all-local run. When
+    /// disabled, those conditions surface as
+    /// [`NetError::ShardExhausted`] / [`NetError::NoWorkers`].
+    pub fn with_local_fallback(mut self, enabled: bool) -> Self {
+        self.local_fallback = enabled;
+        self
+    }
+
+    /// Replaces the backoff sleep (tests inject a recorder so retry
+    /// schedules are asserted without real waits). Only backoff waits
+    /// route through this hook; the poll interval does not.
+    pub fn with_sleep_fn(mut self, sleep: SleepFn) -> Self {
+        self.sleep = sleep;
         self
     }
 
@@ -141,8 +358,11 @@ impl Coordinator {
 
     /// The registry holding the coordinator-side view of a run:
     /// `coord.shard_attempts` / `coord.shard_retries` /
-    /// `coord.shards_done` / `coord.workers_retired` /
-    /// `coord.shards_requeued`, plus the dispatch/retire event trace.
+    /// `coord.shards_done` / `coord.shards_local` /
+    /// `coord.workers_retired` / `coord.workers_readmitted` /
+    /// `coord.workers_dead` / `coord.probes_sent` /
+    /// `coord.shards_requeued` / `coord.backoff_waits`, plus the
+    /// dispatch/retire/probe/readmit event trace.
     pub fn obs(&self) -> &Arc<ObsRegistry> {
         &self.obs
     }
@@ -171,72 +391,201 @@ impl Coordinator {
             None => WorkerClient::connect(addr)?,
         };
         client.set_timeout(self.read_timeout)?;
+        client.set_write_timeout(self.write_timeout)?;
         Ok(client)
     }
 
+    /// The health probe: connect and exercise the `stats` verb. A
+    /// worker that answers it has a live accept loop, a working frame
+    /// path, and a responsive registry — cheap, and no job state is
+    /// touched. The successful client is kept for dispatch.
+    fn probe(&self, addr: &str) -> Result<WorkerClient, NetError> {
+        let mut client = self.connect(addr)?;
+        client.stats()?;
+        Ok(client)
+    }
+
+    /// Solves one shard on the coordinator host, or folds the local
+    /// failure into the shard's exhaustion error.
+    fn finish_locally_or_fail(
+        &self,
+        job: &ShardJob,
+        attempts: usize,
+        mut chain: Vec<String>,
+    ) -> Result<Vec<WireSolution>, NetError> {
+        if self.local_fallback {
+            match local::solve_spec(&job.spec) {
+                Ok(solutions) => {
+                    self.obs.counter("coord.shards_local").inc();
+                    self.obs.tracer().record(Event::ShardLocalSolve {
+                        start: job.shard.start as u64,
+                        end: job.shard.end as u64,
+                    });
+                    return Ok(solutions);
+                }
+                Err(e) => chain.push(format!("local fallback failed: {e}")),
+            }
+        }
+        Err(NetError::ShardExhausted {
+            start: job.shard.start,
+            end: job.shard.end,
+            attempts,
+            chain,
+        })
+    }
+
     /// Runs a set of shard jobs to completion and merges their
-    /// results into flat-grid order.
+    /// results into flat-grid order. With local fallback enabled (the
+    /// default) the run completes whenever the specs are solvable at
+    /// all — worker faults degrade throughput, never the result.
     ///
     /// # Errors
     ///
-    /// [`NetError::NoWorkers`] for an empty address list,
-    /// [`NetError::ShardExhausted`] when a shard runs out of retries
-    /// or surviving workers, [`NetError::Shard`] if the returned
-    /// pieces cannot cover the grid exactly once (a worker returning
-    /// the wrong count).
+    /// [`NetError::NoWorkers`] for an empty address list (fallback
+    /// disabled), [`NetError::ShardExhausted`] when a shard runs out
+    /// of retries, surviving workers, *and* (if enabled) the local
+    /// fallback — carrying the full failure chain — and
+    /// [`NetError::Shard`] if the returned pieces cannot cover the
+    /// grid exactly once (a worker returning the wrong count).
     pub fn run(&self, total: usize, jobs: &[ShardJob]) -> Result<Vec<WireSolution>, NetError> {
-        if self.addrs.is_empty() {
-            return Err(NetError::NoWorkers);
-        }
-        let mut clients: Vec<Option<WorkerClient>> = self
-            .addrs
-            .iter()
-            .map(|addr| self.connect(addr).ok())
-            .collect();
-        let attempts_made = self.obs.counter("coord.shard_attempts");
-        let retries = self.obs.counter("coord.shard_retries");
-        let shards_done = self.obs.counter("coord.shards_done");
         let mut slots: Vec<Slot> = jobs
             .iter()
             .map(|_| Slot::Todo {
                 attempts: 0,
-                last: "never attempted".to_string(),
+                chain: Vec::new(),
+            })
+            .collect();
+
+        if self.addrs.is_empty() {
+            if !self.local_fallback {
+                return Err(NetError::NoWorkers);
+            }
+            // Degraded from the start: the whole grid runs here.
+            for (i, job) in jobs.iter().enumerate() {
+                slots[i] = Slot::Done(self.finish_locally_or_fail(job, 0, Vec::new())?);
+            }
+            return Self::merge(total, jobs, slots);
+        }
+
+        let attempts_made = self.obs.counter("coord.shard_attempts");
+        let retries = self.obs.counter("coord.shard_retries");
+        let shards_done = self.obs.counter("coord.shards_done");
+        let probes_sent = self.obs.counter("coord.probes_sent");
+        let readmitted = self.obs.counter("coord.workers_readmitted");
+        let backoff_waits = self.obs.counter("coord.backoff_waits");
+
+        let mut workers: Vec<Worker> = self
+            .addrs
+            .iter()
+            .map(|addr| match self.connect(addr) {
+                Ok(client) => Worker::Live {
+                    client,
+                    failures: 0,
+                },
+                Err(e) => Worker::Probation {
+                    since: 0,
+                    probes_failed: 0,
+                    last: format!("initial connect failed: {e}"),
+                },
             })
             .collect();
         let mut cursor = 0usize;
+        let mut round = 0u64;
 
         loop {
             let mut progressed = false;
 
-            // Dispatch every waiting shard to the next surviving
-            // worker.
-            for i in 0..slots.len() {
-                let Slot::Todo { attempts, last } = &slots[i] else {
+            // Probe pass: contact every probation worker whose
+            // penalty has elapsed; readmit the ones that answer.
+            for (w, state) in workers.iter_mut().enumerate() {
+                let Worker::Probation {
+                    since,
+                    probes_failed,
+                    ..
+                } = &*state
+                else {
                     continue;
                 };
-                let (attempts, last) = (*attempts, last.clone());
-                let shard = jobs[i].shard;
-                if attempts >= self.max_attempts {
-                    return Err(NetError::ShardExhausted {
-                        start: shard.start,
-                        end: shard.end,
-                        attempts,
-                        last,
-                    });
+                let penalty = self.probe_base_rounds << (*probes_failed).min(16);
+                if round < since.saturating_add(penalty) {
+                    continue;
                 }
-                let Some(worker) = next_alive(&clients, &mut cursor) else {
-                    return Err(NetError::ShardExhausted {
-                        start: shard.start,
-                        end: shard.end,
-                        attempts,
-                        last: format!("no surviving workers (last error: {last})"),
-                    });
+                let probes_failed = *probes_failed;
+                probes_sent.inc();
+                self.obs
+                    .tracer()
+                    .record(Event::WorkerProbed { worker: w as u64 });
+                match self.probe(&self.addrs[w]) {
+                    Ok(client) => {
+                        *state = Worker::Live {
+                            client,
+                            failures: 0,
+                        };
+                        readmitted.inc();
+                        self.obs
+                            .tracer()
+                            .record(Event::WorkerReadmitted { worker: w as u64 });
+                        progressed = true;
+                    }
+                    Err(e) => {
+                        let probes_failed = probes_failed + 1;
+                        *state = if probes_failed >= self.probe_limit {
+                            self.obs.counter("coord.workers_dead").inc();
+                            Worker::Dead {
+                                last: e.to_string(),
+                            }
+                        } else {
+                            Worker::Probation {
+                                since: round,
+                                probes_failed,
+                                last: e.to_string(),
+                            }
+                        };
+                    }
+                }
+            }
+
+            // Dispatch every waiting shard to the next live worker —
+            // or settle its fate when neither retries nor workers
+            // remain.
+            for i in 0..slots.len() {
+                let Slot::Todo { attempts, chain } = &slots[i] else {
+                    continue;
                 };
-                let submitted = clients[worker]
-                    .as_mut()
-                    .expect("next_alive returns live workers")
-                    .submit(&jobs[i].spec);
-                match submitted {
+                let (attempts, chain) = (*attempts, chain.clone());
+                if attempts >= self.max_attempts {
+                    slots[i] = Slot::Done(self.finish_locally_or_fail(&jobs[i], attempts, chain)?);
+                    progressed = true;
+                    continue;
+                }
+                let Some(worker) = next_live(&workers, &mut cursor) else {
+                    if workers
+                        .iter()
+                        .any(|w| matches!(w, Worker::Probation { .. }))
+                    {
+                        // Someone may still be readmitted; wait for
+                        // the probe schedule.
+                        continue;
+                    }
+                    // The whole fleet is dead: degrade (or report,
+                    // with every worker's last failure on the chain).
+                    let mut chain = chain;
+                    chain.push(fleet_obituary(&self.addrs, &workers));
+                    slots[i] = Slot::Done(self.finish_locally_or_fail(&jobs[i], attempts, chain)?);
+                    progressed = true;
+                    continue;
+                };
+                if attempts > 0 {
+                    if let Some(backoff) = &self.backoff {
+                        backoff_waits.inc();
+                        (self.sleep)(backoff.delay(attempts));
+                    }
+                }
+                let shard = jobs[i].shard;
+                let Worker::Live { client, .. } = &mut workers[worker] else {
+                    unreachable!("next_live returns live workers");
+                };
+                match client.submit(&jobs[i].spec) {
                     Ok(job) => {
                         attempts_made.inc();
                         if attempts > 0 {
@@ -255,22 +604,19 @@ impl Coordinator {
                             worker,
                             job,
                             attempts: attempts + 1,
+                            chain,
                         };
                         progressed = true;
                     }
                     Err(e) => {
                         attempts_made.inc();
-                        retire_worker(
-                            &mut clients,
-                            &mut slots,
-                            jobs,
-                            &self.obs,
-                            worker,
-                            &e.to_string(),
-                        );
+                        let failure = e.to_string();
+                        self.note_failure(&mut workers, &mut slots, jobs, worker, &failure, round);
+                        let mut chain = chain;
+                        chain.push(format!("attempt {}: {failure}", attempts + 1));
                         slots[i] = Slot::Todo {
                             attempts: attempts + 1,
-                            last: e.to_string(),
+                            chain,
                         };
                     }
                 }
@@ -283,61 +629,58 @@ impl Coordinator {
                         worker,
                         job,
                         attempts,
+                        ..
                     } => (*worker, *job, *attempts),
                     _ => continue,
                 };
-                let Some(client) = clients[worker].as_mut() else {
-                    // Its worker was retired this round; the retire
-                    // already requeued it.
+                let Worker::Live { client, .. } = &mut workers[worker] else {
+                    // Its worker was suspended this round; the
+                    // suspension already requeued it.
                     continue;
                 };
                 match client.poll(job) {
                     Ok(status) if !status.is_terminal() => {}
-                    Ok(_) => match clients[worker].as_mut().expect("still live").fetch(job) {
-                        Ok(solutions) => {
-                            shards_done.inc();
-                            slots[i] = Slot::Done(solutions);
-                            progressed = true;
+                    Ok(_) => {
+                        let Worker::Live { client, .. } = &mut workers[worker] else {
+                            unreachable!("checked live above");
+                        };
+                        match client.fetch(job) {
+                            Ok(solutions) => {
+                                if let Worker::Live { failures, .. } = &mut workers[worker] {
+                                    // A delivered shard closes the
+                                    // breaker's consecutive count.
+                                    *failures = 0;
+                                }
+                                shards_done.inc();
+                                slots[i] = Slot::Done(solutions);
+                                progressed = true;
+                            }
+                            Err(e) => {
+                                // Job-level failures (panicked solve,
+                                // refused spec) and transport deaths
+                                // alike: the worker is suspect, the
+                                // shard retries elsewhere.
+                                let failure = e.to_string();
+                                self.note_failure(
+                                    &mut workers,
+                                    &mut slots,
+                                    jobs,
+                                    worker,
+                                    &failure,
+                                    round,
+                                );
+                                if let Slot::Pending { chain, .. } = &mut slots[i] {
+                                    let mut chain = std::mem::take(chain);
+                                    chain.push(format!("attempt {attempts}: {failure}"));
+                                    slots[i] = Slot::Todo { attempts, chain };
+                                }
+                                progressed = true;
+                            }
                         }
-                        Err(e @ NetError::Remote { .. }) => {
-                            // The job itself failed (panicked solve,
-                            // refused spec): the worker is suspect —
-                            // retire it and retry elsewhere.
-                            retire_worker(
-                                &mut clients,
-                                &mut slots,
-                                jobs,
-                                &self.obs,
-                                worker,
-                                &e.to_string(),
-                            );
-                            slots[i] = Slot::Todo {
-                                attempts,
-                                last: e.to_string(),
-                            };
-                            progressed = true;
-                        }
-                        Err(e) => {
-                            retire_worker(
-                                &mut clients,
-                                &mut slots,
-                                jobs,
-                                &self.obs,
-                                worker,
-                                &e.to_string(),
-                            );
-                            progressed = true;
-                        }
-                    },
+                    }
                     Err(e) => {
-                        retire_worker(
-                            &mut clients,
-                            &mut slots,
-                            jobs,
-                            &self.obs,
-                            worker,
-                            &e.to_string(),
-                        );
+                        let failure = e.to_string();
+                        self.note_failure(&mut workers, &mut slots, jobs, worker, &failure, round);
                         progressed = true;
                     }
                 }
@@ -346,72 +689,172 @@ impl Coordinator {
             if slots.iter().all(|s| matches!(s, Slot::Done(_))) {
                 break;
             }
+            round += 1;
             if !progressed {
                 std::thread::sleep(self.poll_interval);
             }
         }
 
+        Self::merge(total, jobs, slots)
+    }
+
+    fn merge(
+        total: usize,
+        jobs: &[ShardJob],
+        slots: Vec<Slot>,
+    ) -> Result<Vec<WireSolution>, NetError> {
         let parts: Vec<(Shard, Vec<WireSolution>)> = jobs
             .iter()
             .zip(slots)
             .map(|(job, slot)| match slot {
                 Slot::Done(solutions) => (job.shard, solutions),
-                _ => unreachable!("loop exits only when every slot is done"),
+                _ => unreachable!("merge runs only when every slot is done"),
             })
             .collect();
         merge_shards(total, parts).map_err(NetError::Shard)
     }
+
+    /// Counts a failure against a worker's circuit breaker. Tripping
+    /// it suspends the worker into probation and requeues every shard
+    /// pending on it (attempt counts preserved — the retry itself
+    /// re-increments on dispatch). A failure under the threshold
+    /// keeps the worker live but replaces its connection, since most
+    /// failures sever the transport.
+    fn note_failure(
+        &self,
+        workers: &mut [Worker],
+        slots: &mut [Slot],
+        jobs: &[ShardJob],
+        worker: usize,
+        reason: &str,
+        round: u64,
+    ) {
+        let failures = match &mut workers[worker] {
+            Worker::Live { failures, .. } => {
+                *failures += 1;
+                *failures
+            }
+            // Already suspended (several pendings can fail in one
+            // round, and the first suspension requeues them all).
+            _ => return,
+        };
+        if failures < self.failure_threshold {
+            // Under the breaker threshold: stay in rotation on a
+            // fresh connection (the failed one is suspect).
+            match self.connect(&self.addrs[worker]) {
+                Ok(client) => {
+                    workers[worker] = Worker::Live { client, failures };
+                    return;
+                }
+                Err(_) => {
+                    // Reconnect refused: fall through to suspension.
+                }
+            }
+        }
+        self.obs.counter("coord.workers_retired").inc();
+        self.obs.tracer().record(Event::WorkerRetired {
+            worker: worker as u64,
+        });
+        workers[worker] = Worker::Probation {
+            since: round,
+            probes_failed: 0,
+            last: reason.to_string(),
+        };
+        let requeued = self.obs.counter("coord.shards_requeued");
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if let Slot::Pending {
+                worker: w,
+                attempts,
+                chain,
+                ..
+            } = slot
+            {
+                if *w == worker {
+                    requeued.inc();
+                    self.obs.tracer().record(Event::ShardRequeued {
+                        start: jobs[i].shard.start as u64,
+                        end: jobs[i].shard.end as u64,
+                    });
+                    let mut chain = std::mem::take(chain);
+                    chain.push(format!(
+                        "attempt {attempts}: worker {worker} suspended: {reason}"
+                    ));
+                    *slot = Slot::Todo {
+                        attempts: *attempts,
+                        chain,
+                    };
+                }
+            }
+        }
+    }
 }
 
 /// Advances the round-robin cursor to the next live worker.
-fn next_alive(clients: &[Option<WorkerClient>], cursor: &mut usize) -> Option<usize> {
-    for _ in 0..clients.len() {
-        let candidate = *cursor % clients.len();
+fn next_live(workers: &[Worker], cursor: &mut usize) -> Option<usize> {
+    for _ in 0..workers.len() {
+        let candidate = *cursor % workers.len();
         *cursor = candidate + 1;
-        if clients[candidate].is_some() {
+        if matches!(workers[candidate], Worker::Live { .. }) {
             return Some(candidate);
         }
     }
     None
 }
 
-/// Drops a worker from the rotation and requeues every shard that was
-/// pending on it (attempt counts preserved — the retry itself
-/// re-increments on dispatch). The retirement and each requeue land in
-/// the coordinator's registry, so a scrape after a fault shows exactly
-/// which worker died and how many shards it took down with it.
-fn retire_worker(
-    clients: &mut [Option<WorkerClient>],
-    slots: &mut [Slot],
-    jobs: &[ShardJob],
-    obs: &ObsRegistry,
-    worker: usize,
-    reason: &str,
-) {
-    clients[worker] = None;
-    obs.counter("coord.workers_retired").inc();
-    obs.tracer().record(Event::WorkerRetired {
-        worker: worker as u64,
-    });
-    let requeued = obs.counter("coord.shards_requeued");
-    for (i, slot) in slots.iter_mut().enumerate() {
-        if let Slot::Pending {
-            worker: w,
-            attempts,
-            ..
-        } = slot
-        {
-            if *w == worker {
-                requeued.inc();
-                obs.tracer().record(Event::ShardRequeued {
-                    start: jobs[i].shard.start as u64,
-                    end: jobs[i].shard.end as u64,
-                });
-                *slot = Slot::Todo {
-                    attempts: *attempts,
-                    last: format!("worker retired: {reason}"),
-                };
+/// One line summarizing why no worker is usable — the chain entry a
+/// shard gets when the whole fleet is gone.
+fn fleet_obituary(addrs: &[String], workers: &[Worker]) -> String {
+    let summary: Vec<String> = workers
+        .iter()
+        .zip(addrs)
+        .map(|(w, addr)| match w {
+            Worker::Dead { last } => format!("{addr}: {last}"),
+            Worker::Probation { last, .. } => format!("{addr}: {last}"),
+            Worker::Live { .. } => format!("{addr}: live"),
+        })
+        .collect();
+    format!("no usable workers ({})", summary.join("; "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let backoff = BackoffConfig::new(9)
+            .with_base(Duration::from_millis(4))
+            .with_cap(Duration::from_millis(50));
+        assert_eq!(backoff.delay(0), Duration::ZERO);
+        for attempt in 1..32 {
+            let d = backoff.delay(attempt);
+            assert_eq!(d, backoff.delay(attempt), "pure in (seed, attempt)");
+            assert!(d <= Duration::from_millis(50), "capped: {d:?}");
+            if attempt == 1 {
+                // base * [0.5, 1.5)
+                assert!(d >= Duration::from_millis(2), "{d:?}");
+                assert!(d < Duration::from_millis(6), "{d:?}");
             }
         }
+        // Growth before the cap bites: attempt 3 waits longer than
+        // the fastest possible attempt 1.
+        assert!(backoff.delay(3) > backoff.delay(1) || backoff.delay(3) >= backoff.cap / 2);
+        // Different seeds draw different jitter somewhere early.
+        let other = BackoffConfig::new(10)
+            .with_base(Duration::from_millis(4))
+            .with_cap(Duration::from_millis(50));
+        assert!((1..8).any(|a| other.delay(a) != backoff.delay(a)));
+    }
+
+    #[test]
+    fn zero_max_attempts_is_a_typed_config_error() {
+        let err = Coordinator::new(vec!["127.0.0.1:1".into()])
+            .with_max_attempts(0)
+            .unwrap_err();
+        match err {
+            NetError::Config(message) => assert!(message.contains("max_attempts"), "{message}"),
+            other => panic!("expected NetError::Config, got {other}"),
+        }
+        assert!(Coordinator::new(Vec::new()).with_max_attempts(3).is_ok());
     }
 }

@@ -20,32 +20,45 @@
 //!   jobs) and one [`ObsRegistry`](hycim_obs::ObsRegistry) per worker
 //!   (frame and shard counters, scrapeable over the `stats` verb).
 //! * [`client`] / [`coordinator`] — the [`WorkerClient`] connection
-//!   (with read/connect deadlines that turn a hung peer into a typed
-//!   [`NetError::Timeout`]) and the [`Coordinator`] that plans shards
-//!   ([`ShardPlan`](hycim_core::ShardPlan)), dispatches them with
-//!   pre-derived [`replica_seed`](hycim_core::replica_seed)s, retries
-//!   failures on surviving workers, records its dispatch/retire story
-//!   in its own registry, and merges with
+//!   (with read/write/connect deadlines that turn a hung or stalled
+//!   peer into a typed [`NetError::Timeout`]) and the [`Coordinator`]
+//!   that plans shards ([`ShardPlan`](hycim_core::ShardPlan)),
+//!   dispatches them with pre-derived
+//!   [`replica_seed`](hycim_core::replica_seed)s, retries failures
+//!   with seeded backoff, tracks worker health (probation, probing,
+//!   readmission), degrades to solving shards locally when the fleet
+//!   is gone, records its dispatch/retire/readmit story in its own
+//!   registry, and merges with
 //!   [`merge_shards`](hycim_core::merge_shards).
+//! * [`chaos`] — a deterministic fault-injection TCP proxy
+//!   ([`ChaosProxy`]) driven by a seeded [`FaultPlan`]: refused
+//!   connections, mid-frame drops, truncations, stalls, delays —
+//!   scripted, reproducible network misbehavior for the resilience
+//!   tests.
 //!
 //! Determinism contract: every spec carries its exact solve seeds and
 //! the instance's hardware seed; workers derive nothing. A sharded
-//! run over any number of workers — including retries after faults —
-//! merges to the byte-for-byte result of
-//! [`BatchRunner`](hycim_core::BatchRunner) on one thread.
+//! run over any number of workers — including retries after faults,
+//! readmitted workers, and shards finished by the coordinator's local
+//! fallback — merges to the byte-for-byte result of
+//! [`BatchRunner`](hycim_core::BatchRunner) on one thread. Backoff
+//! jitter comes from its own seeded stream, never the wall clock.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod coordinator;
 pub mod frame;
 pub mod json;
+pub(crate) mod local;
 pub mod proto;
 pub mod worker;
 
+pub use chaos::{ChaosProxy, ConnFault, FaultPlan};
 pub use client::{NetError, WorkerClient};
-pub use coordinator::{shard_replica_column, Coordinator, ShardJob};
+pub use coordinator::{shard_replica_column, BackoffConfig, Coordinator, ShardJob, SleepFn};
 pub use frame::{FrameError, MessageReceiver, MessageSender, FRAME_PREFIX};
 pub use proto::{ErrorCode, JobSpec, ProtoError, Request, Response, WireSolution};
 pub use worker::{WorkerConfig, WorkerFault, WorkerHandle, WorkerServer};

@@ -14,7 +14,6 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use hycim_cop::{AnyProblem, CopProblem};
 use hycim_obs::ObsRegistry;
 use hycim_service::{DisposeOutcome, JobId, JobService, ServiceConfig, SubmitError};
 
@@ -31,6 +30,10 @@ pub enum WorkerFault {
     /// died mid-shard" scenario. The pool survives; the job turns
     /// `Failed`.
     PanicOnSubmit(usize),
+    /// The first `k` accepted submits panic, then the worker recovers
+    /// — the flaky-then-healthy scenario the probation/readmission
+    /// machinery exists for. `k == 0` is a healthy worker.
+    PanicFirstSubmits(usize),
 }
 
 /// Sizing and behavior of a [`WorkerServer`].
@@ -369,7 +372,11 @@ fn submit(spec: JobSpec, shared: &WorkerShared, owned: &mut HashSet<u64>) -> Res
     let settings = spec.settings();
     let seeds = spec.seeds;
     let sequence = shared.submits.fetch_add(1, Ordering::SeqCst);
-    let inject_panic = shared.fault == Some(WorkerFault::PanicOnSubmit(sequence));
+    let inject_panic = match shared.fault {
+        Some(WorkerFault::PanicOnSubmit(n)) => sequence == n,
+        Some(WorkerFault::PanicFirstSubmits(k)) => sequence < k,
+        None => false,
+    };
     let obs = Arc::clone(&shared.obs);
     let submitted = shared
         .service
@@ -377,7 +384,7 @@ fn submit(spec: JobSpec, shared: &WorkerShared, owned: &mut HashSet<u64>) -> Res
             if inject_panic {
                 panic!("injected worker fault: submit {sequence} dies mid-shard");
             }
-            let solutions = solve_any(&problem, kind, &settings, &seeds)?;
+            let solutions = crate::local::solve_any(&problem, kind, &settings, &seeds)?;
             // Flushed once per shard, after the solve — the anneal loop
             // itself stays untouched (the determinism contract).
             obs.counter("net.shards_solved").inc();
@@ -447,39 +454,4 @@ fn fetch(job: u64, shared: &WorkerShared, owned: &mut HashSet<u64>) -> Response 
             message: e.to_string(),
         },
     }
-}
-
-/// Solves every seed of a spec against its reconstructed problem —
-/// the worker-side computation, dispatched over the family enum (the
-/// engine is built on the solve thread, so trait objects never cross
-/// threads).
-fn solve_any(
-    problem: &AnyProblem,
-    kind: hycim_core::EngineKind,
-    settings: &hycim_core::EngineSettings,
-    seeds: &[u64],
-) -> Result<Vec<WireSolution>, String> {
-    match problem {
-        AnyProblem::Qkp(p) => solve_typed(p, kind, settings, seeds),
-        AnyProblem::Knapsack(p) => solve_typed(p, kind, settings, seeds),
-        AnyProblem::MaxCut(p) => solve_typed(p, kind, settings, seeds),
-        AnyProblem::SpinGlass(p) => solve_typed(p, kind, settings, seeds),
-        AnyProblem::Tsp(p) => solve_typed(p, kind, settings, seeds),
-        AnyProblem::Coloring(p) => solve_typed(p, kind, settings, seeds),
-        AnyProblem::BinPack(p) => solve_typed(p, kind, settings, seeds),
-        AnyProblem::Mkp(p) => solve_typed(p, kind, settings, seeds),
-    }
-}
-
-fn solve_typed<P: CopProblem + 'static>(
-    problem: &P,
-    kind: hycim_core::EngineKind,
-    settings: &hycim_core::EngineSettings,
-    seeds: &[u64],
-) -> Result<Vec<WireSolution>, String> {
-    let engine = kind.build(problem, settings).map_err(|e| e.to_string())?;
-    Ok(seeds
-        .iter()
-        .map(|&seed| WireSolution::from_solution(&engine.solve(seed)))
-        .collect())
 }

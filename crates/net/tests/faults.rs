@@ -275,14 +275,24 @@ fn exhausted_retries_surface_a_typed_shard_error() {
     let (total, jobs) = shard_replica_column(&spec, 4, 1, 0, 2);
     let err = Coordinator::new(vec![handle.addr().to_string()])
         .with_max_attempts(2)
+        .expect("nonzero bound")
         .run(total, &jobs)
         .unwrap_err();
     match err {
-        NetError::ShardExhausted { attempts, last, .. } => {
+        NetError::ShardExhausted {
+            attempts, chain, ..
+        } => {
             assert!(attempts <= 2);
+            let joined = chain.join(" | ");
             assert!(
-                last.contains("quantum") || last.contains("worker"),
-                "{last}"
+                joined.contains("quantum"),
+                "chain names the fault: {joined}"
+            );
+            // The spec is unsolvable, so graceful degradation tried —
+            // and failed with the same reason — before giving up.
+            assert!(
+                joined.contains("local fallback failed"),
+                "the fallback attempt is on the chain: {joined}"
             );
         }
         other => panic!("expected ShardExhausted, got {other}"),
@@ -319,6 +329,34 @@ fn hung_peer_turns_into_a_typed_timeout_not_a_hang() {
     }
     assert!(
         started.elapsed() < Duration::from_secs(5),
+        "the deadline bounded the wait"
+    );
+    drop(client);
+    let _ = accepter.join();
+}
+
+#[test]
+fn stalled_reader_turns_a_large_write_into_a_typed_timeout() {
+    // The peer accepts and then never reads: once the socket buffers
+    // fill, a large submit must hit the write deadline as a typed
+    // NetError::Timeout instead of blocking the coordinator forever.
+    let (addr, listener) = hung_listener();
+    let accepter = std::thread::spawn(move || listener.accept().map(|(stream, _)| stream));
+    let mut client =
+        WorkerClient::connect_timeout(addr, Duration::from_secs(5)).expect("connect succeeds");
+    client
+        .set_write_timeout(Some(Duration::from_millis(50)))
+        .expect("set write timeout");
+    // Tens of megabytes of seeds: far past any loopback socket buffer
+    // (send + receive together absorb a few MB before blocking).
+    let spec = spec_for(&problem(), (0..4_000_000u64).collect());
+    let started = Instant::now();
+    match client.submit(&spec) {
+        Err(NetError::Timeout) => {}
+        other => panic!("expected NetError::Timeout, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
         "the deadline bounded the wait"
     );
     drop(client);
@@ -394,7 +432,9 @@ fn killed_workers_requeued_shards_are_visible_in_the_coordinator_registry() {
 
     let spec = spec_for(&p, Vec::new());
     let (total, jobs) = shard_replica_column(&spec, 40, 77, 0, 4);
-    let coordinator = Coordinator::new(addrs).with_max_attempts(6);
+    let coordinator = Coordinator::new(addrs)
+        .with_max_attempts(6)
+        .expect("nonzero bound");
     let merged = coordinator
         .run(total, &jobs)
         .expect("the survivor finishes the run");
@@ -444,17 +484,51 @@ fn killed_workers_requeued_shards_are_visible_in_the_coordinator_registry() {
 
 #[test]
 fn unreachable_workers_surface_a_typed_error_not_a_hang() {
-    let spec = spec_for(&problem(), Vec::new());
+    let p = problem();
+    let spec = spec_for(&p, Vec::new());
     let (total, jobs) = shard_replica_column(&spec, 3, 1, 0, 1);
 
-    // Nobody to talk to at all.
-    let err = Coordinator::new(Vec::new()).run(total, &jobs).unwrap_err();
-    assert!(matches!(err, NetError::NoWorkers), "{err}");
-
-    // A dead address: connects fail, the shard exhausts with a reason.
-    let err = Coordinator::new(vec!["127.0.0.1:1".to_string()])
-        .with_max_attempts(1)
+    // Strict mode (no fallback): nobody to talk to at all.
+    let err = Coordinator::new(Vec::new())
+        .with_local_fallback(false)
         .run(total, &jobs)
         .unwrap_err();
-    assert!(matches!(err, NetError::ShardExhausted { .. }), "{err}");
+    assert!(matches!(err, NetError::NoWorkers), "{err}");
+
+    // Strict mode, a dead address: the probe budget exhausts, and the
+    // shard fails carrying the fleet's obituary on its chain.
+    let err = Coordinator::new(vec!["127.0.0.1:1".to_string()])
+        .with_local_fallback(false)
+        .with_max_attempts(1)
+        .expect("nonzero bound")
+        .run(total, &jobs)
+        .unwrap_err();
+    match &err {
+        NetError::ShardExhausted { chain, .. } => assert!(
+            chain.iter().any(|c| c.contains("no usable workers")),
+            "{chain:?}"
+        ),
+        other => panic!("expected ShardExhausted, got {other}"),
+    }
+
+    // Default mode degrades gracefully instead: both runs complete on
+    // the coordinator host, byte-identical to the local reference.
+    let engine = EngineKind::Software
+        .build(&p, &EngineSettings::new(40, 2))
+        .expect("builds");
+    let reference: Vec<WireSolution> = BatchRunner::serial()
+        .run(&engine, 3, 1)
+        .iter()
+        .map(WireSolution::from_solution)
+        .collect();
+    let empty_fleet = Coordinator::new(Vec::new());
+    let local = empty_fleet.run(total, &jobs).expect("solves locally");
+    assert_eq!(local, reference);
+    assert_eq!(
+        empty_fleet.obs().snapshot().counter("coord.shards_local"),
+        Some(1)
+    );
+    let dead_fleet = Coordinator::new(vec!["127.0.0.1:1".to_string()]);
+    let degraded = dead_fleet.run(total, &jobs).expect("degrades to local");
+    assert_eq!(degraded, reference);
 }

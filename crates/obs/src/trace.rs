@@ -64,10 +64,30 @@ pub enum Event {
         /// One past the last replica index.
         end: u64,
     },
-    /// A worker connection was dropped from the rotation.
+    /// A worker connection was dropped from the rotation (into
+    /// probation — a later probe may readmit it).
     WorkerRetired {
         /// Coordinator-local worker index.
         worker: u64,
+    },
+    /// The coordinator sent a health probe (the `stats` verb) to a
+    /// worker on probation.
+    WorkerProbed {
+        /// Coordinator-local worker index.
+        worker: u64,
+    },
+    /// A probed worker answered and rejoined the dispatch rotation.
+    WorkerReadmitted {
+        /// Coordinator-local worker index.
+        worker: u64,
+    },
+    /// A shard was solved on the coordinator host because the worker
+    /// fleet was exhausted or empty (graceful degradation).
+    ShardLocalSolve {
+        /// First replica index of the shard (inclusive).
+        start: u64,
+        /// One past the last replica index.
+        end: u64,
     },
     /// An annealing solve finished a phase.
     AnnealPhase {
@@ -93,6 +113,11 @@ impl fmt::Display for Event {
             Event::ShardRetried { start, end } => write!(f, "shard [{start}, {end}) retried"),
             Event::ShardRequeued { start, end } => write!(f, "shard [{start}, {end}) requeued"),
             Event::WorkerRetired { worker } => write!(f, "worker {worker} retired"),
+            Event::WorkerProbed { worker } => write!(f, "worker {worker} probed"),
+            Event::WorkerReadmitted { worker } => write!(f, "worker {worker} readmitted"),
+            Event::ShardLocalSolve { start, end } => {
+                write!(f, "shard [{start}, {end}) solved locally")
+            }
             Event::AnnealPhase { label, iterations } => {
                 write!(f, "anneal phase {label} ({iterations} iterations)")
             }

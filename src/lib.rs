@@ -17,7 +17,7 @@
 //! | [`anneal`] | `hycim-anneal` | Simulated-annealing engine, schedules, traces |
 //! | [`core`] | `hycim-core` | Generic engines (`HyCimEngine`, `BankEngine`, `DquboEngine`, `SoftwareEngine`), the parallel `BatchRunner`, success-rate harness |
 //! | [`service`] | `hycim-service` | Job-service front-end: bounded-queue worker pool serving solve jobs to concurrent callers (submit → poll → fetch) |
-//! | [`net`] | `hycim-net` | Framed-JSON wire protocol over TCP: worker servers bridging jobs onto the service pool, the shard-planning coordinator, bit-identical distributed solves |
+//! | [`net`] | `hycim-net` | Framed-JSON wire protocol over TCP: worker servers bridging jobs onto the service pool, the shard-planning coordinator with worker health tracking / seeded retry backoff / local-fallback degradation, a deterministic fault-injection proxy, bit-identical distributed solves |
 //! | [`obs`] | `hycim-obs` | Observability: dependency-free metrics registry (counters, gauges, mergeable histograms), bounded event tracer, Prometheus-style exposition, deterministic snapshot form |
 //!
 //! The crate-level narrative — who calls whom, and why the layers cut
@@ -76,7 +76,10 @@ pub mod prelude {
         BankEngine, BatchRunner, DquboConfig, DquboEngine, DquboSolver, Engine, HyCimConfig,
         HyCimEngine, HyCimSolver, HycimError, SoftwareEngine, SoftwareSolver, Solution,
     };
-    pub use hycim_net::{Coordinator, JobSpec, WireSolution, WorkerClient, WorkerServer};
+    pub use hycim_net::{
+        BackoffConfig, ChaosProxy, Coordinator, FaultPlan, JobSpec, WireSolution, WorkerClient,
+        WorkerServer,
+    };
     pub use hycim_obs::{Counter, EventTracer, Gauge, Histogram, ObsRegistry, Snapshot};
     pub use hycim_qubo::{
         Assignment, DeltaEngine, InequalityQubo, IsingModel, LinearConstraint, LocalFieldState,
